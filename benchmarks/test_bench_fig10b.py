@@ -1,0 +1,43 @@
+"""Fig. 10b — Case 3: frequency-heterogeneous (tiny-server) cluster.
+
+Paper shape: capping the small machine at 1.8 GHz (emulating an ARM-like
+tiny server) pushes the CCRs far beyond prior work's 1:3 thread guess
+(PageRank/CC/Coloring above 1:6; Triangle Count least affected), so the
+CCR advantage over prior work *grows* relative to Case 2, as do the
+energy savings.  Paper magnitudes: prior 1.37× / ours 1.58×
+(10.4 % / 26.4 % energy).
+"""
+
+from repro.experiments.fig10 import run_case2, run_case3
+from repro.utils.tables import format_table
+
+from conftest import emit, BENCH_SCALE
+
+
+def test_bench_fig10b(benchmark):
+    result = benchmark.pedantic(
+        run_case3, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            headers=("app", "prior speedup", "ccr speedup", "prior energy %", "ccr energy %"),
+            rows=result.rows(),
+            title=(
+                "Fig. 10b: Case 3 (different frequency ranges) over the default — "
+                f"mean prior {result.mean_speedup('prior'):.2f}x vs "
+                f"ccr {result.mean_speedup('ccr'):.2f}x; energy "
+                f"{result.mean_energy_savings_pct('prior'):.1f}% vs "
+                f"{result.mean_energy_savings_pct('ccr'):.1f}%"
+            ),
+        )
+    )
+    assert result.mean_speedup("ccr") > result.mean_speedup("prior") > 1.2
+    assert result.mean_energy_savings_pct("ccr") > result.mean_energy_savings_pct(
+        "prior"
+    )
+    # The CCR advantage over prior work grows as heterogeneity increases.
+    case2 = run_case2(scale=BENCH_SCALE)
+    gap3 = result.mean_speedup("ccr") / result.mean_speedup("prior")
+    gap2 = case2.mean_speedup("ccr") / case2.mean_speedup("prior")
+    assert gap3 > gap2, (gap2, gap3)
+    emit(f"CCR-vs-prior advantage: case2 {gap2:.3f}x -> case3 {gap3:.3f}x")

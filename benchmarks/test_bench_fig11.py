@@ -1,0 +1,48 @@
+"""Fig. 11 — cost and performance Pareto space of EC2 machines.
+
+Paper shape: the three 2xlarge machines (different categories) cluster
+together around ~2× speedup at a small fraction of the biggest machine's
+cost; within the compute-optimised family the 8xlarge is the most
+expensive machine per graph task; the mid sizes (2xlarge/4xlarge) are the
+reasonable candidates.
+"""
+
+from repro.experiments.fig11 import run_fig11
+from repro.utils.tables import format_table
+
+from conftest import emit, BENCH_SCALE
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            headers=("app", "machine", "speedup", "cost per task ($)", "relative cost"),
+            rows=result.rows(),
+            title="Fig. 11: cost/performance Pareto of EC2 machines (proxy-profiled)",
+            float_fmt=".3e",
+        )
+    )
+    means = result.mean_by_machine()
+    emit(
+        format_table(
+            headers=("machine", "mean speedup", "mean cost per task ($)"),
+            rows=[(m, s, c) for m, (s, c) in sorted(means.items())],
+            title="Fig. 11 summary (mean over applications)",
+            float_fmt=".3e",
+        )
+    )
+
+    # All 2xlarge machines cluster together around ~2x speedup.
+    for m in ("c4.2xlarge", "m4.2xlarge", "r3.2xlarge"):
+        assert 1.6 < means[m][0] < 2.8, (m, means[m])
+
+    # Within the compute-optimised family, 8xlarge costs the most per task.
+    c4 = {m: c for m, (s, c) in means.items() if m.startswith("c4.")}
+    assert max(c4, key=c4.get) == "c4.8xlarge", c4
+
+    # The Pareto front contains the mid sizes the paper recommends.
+    front = {p.machine for p in result.pareto()}
+    assert "c4.2xlarge" in front or "c4.4xlarge" in front, front

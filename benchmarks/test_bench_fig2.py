@@ -1,0 +1,35 @@
+"""Fig. 2 — speedup estimated by prior work vs. real speedup.
+
+Paper shape: the thread-count estimate (1, 3, 7, 17 across the c4 ladder)
+diverges far above every application's real scaling; applications diverge
+from each other, with PageRank saturating on the largest machines.
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.utils.tables import format_table
+
+from conftest import emit, BENCH_SCALE
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            headers=result.headers(),
+            rows=result.rows(),
+            title="Fig. 2: prior-work estimate vs real application scaling (c4 family)",
+        )
+    )
+
+    prior_top = result.prior_estimate[-1]
+    for app, series in result.real_speedups.items():
+        # The thread estimate overshoots every application's real scaling
+        # on the biggest machine by a wide margin.
+        assert prior_top > 1.8 * series[-1], (app, series)
+        # Real scaling is monotone: bigger machines are never slower.
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:])), (app, series)
+
+    # PageRank saturates between the last two machines (Fig. 2's red line).
+    assert "pagerank" in result.saturating_apps(threshold=1.35)

@@ -1,0 +1,31 @@
+"""Fig. 6 — power-law degree distribution (Friendster-like).
+
+Paper shape: the degree distribution is a straight line in log-log space
+whose slope is governed by alpha.  The bench regenerates the distribution
+for a Friendster-like graph and checks linearity (R²) and the recovered
+exponent.
+"""
+
+from repro.experiments.fig6 import run_fig6
+from repro.utils.tables import format_table
+
+from conftest import emit
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit(
+        format_table(
+            headers=("degree", "P(degree)"),
+            rows=result.rows(),
+            title=(
+                "Fig. 6: Friendster-like degree distribution "
+                f"(alpha requested {result.alpha_requested}, "
+                f"CCDF fit {result.alpha_fit_ccdf:.2f}, R^2 {result.r_squared:.3f})"
+            ),
+            float_fmt=".2e",
+        )
+    )
+    assert result.r_squared > 0.97, "distribution is not a clean power law"
+    assert abs(result.alpha_fit_ccdf - result.alpha_requested) < 0.2
+    assert abs(result.alpha_fit_moment - result.alpha_requested) < 0.1

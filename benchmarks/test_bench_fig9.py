@@ -1,0 +1,42 @@
+"""Fig. 9 — Case 1: CCR-guided vs prior work on the EC2 cluster.
+
+Paper shape: on 2× m4.2xlarge + 2× c4.2xlarge (identical thread counts, so
+prior work partitions uniformly) the CCR-guided system wins on every
+application; Coloring benefits least (asynchronous engine), and the
+mixed-cut algorithms (Hybrid/Ginger) and Oblivious do best.  Paper
+magnitudes: ~1.16× average / 1.45× max; this simulation's machine gap
+yields a smaller but same-shaped ~1.05–1.09× average (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+from repro.utils.tables import format_table
+
+from conftest import emit, BENCH_SCALE
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            headers=("app", "graph", "algorithm", "prior (s)", "ccr (s)", "speedup"),
+            rows=result.rows(),
+            title=(
+                "Fig. 9: Case 1 runtimes, prior work vs CCR-guided — "
+                f"mean {result.mean_speedup:.3f}x, max {result.max_speedup:.3f}x"
+            ),
+            float_fmt=".5f",
+        )
+    )
+    apps = result.app_speedups()
+    # CCR-guided wins on average and on every application.
+    assert result.mean_speedup > 1.02
+    assert all(s > 0.99 for s in apps.values()), apps
+    # Coloring benefits least (asynchronous execution), as in the paper.
+    assert apps["coloring"] == min(apps.values()), apps
+    # Max speedup comfortably above the mean (the amazon/CC/hybrid-style
+    # outliers of the paper).
+    assert result.max_speedup > result.mean_speedup + 0.05

@@ -1,0 +1,32 @@
+"""Table I — machine configurations.
+
+Regenerates the paper's machine table (thread counts and hourly prices
+published; frequency/bandwidth/LLC are this reproduction's calibrated
+parameters) and checks it against the published rows.
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.utils.tables import format_table
+
+from conftest import emit
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(
+        format_table(
+            headers=(
+                "Name",
+                "HW Threads",
+                "Computing Threads",
+                "Cost Rate",
+                "Type",
+                "Freq (GHz)",
+                "MemBW (GB/s)",
+                "LLC (MB)",
+            ),
+            rows=result.rows(),
+            title="Table I: Amazon Virtual Machine and Local Physical Machine Configurations",
+        )
+    )
+    assert result.matches_paper(), "catalog diverges from the published Table I"

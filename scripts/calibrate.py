@@ -1,0 +1,69 @@
+"""Calibration helper: print Fig. 8a-style CCR curves for the c4 family.
+
+Not part of the library — used during development to tune the app cost
+models and machine catalog so the published scaling shapes emerge.
+
+Paper targets (real-graph speedups over c4.xlarge, eyeballed from Fig. 8a
+and the Section V-A text):
+  pagerank              ~ [1, 2.0, 3.8, 4.4]   (saturates before 8xlarge)
+  coloring              ~ [1, 2.2, 4.3, 7.7]   (nearly linear)
+  connected_components  ~ [1, 2.2, 4.3, 7.9]   (nearly linear)
+  triangle_count        ~ [1, 2.0, 3.6, 7.6]   (sharp jump at 8xlarge; the
+                                                proxy estimate there is 5.3)
+Prior-work (thread-count) estimates: [1, 3, 7, 17] -> ~108 % mean error.
+"""
+
+import numpy as np
+
+from repro.graph import load_dataset, dataset_names
+from repro.cluster import Cluster, PerformanceModel, get_machine
+from repro.engine import GraphProcessingSystem, simulate_execution
+from repro.apps import make_app, DEFAULT_APPS
+
+SCALE = 0.01
+MACHINES = ["c4.xlarge", "c4.2xlarge", "c4.4xlarge", "c4.8xlarge"]
+
+perf = PerformanceModel(model_scale=SCALE)
+
+
+def profile_times(app_name, graph):
+    """Single-machine execution trace priced on each machine type."""
+    app = make_app(app_name)
+    base = Cluster([get_machine(MACHINES[0])], perf=perf)
+    trace = GraphProcessingSystem(base).run_single_machine(app, graph)
+    times = []
+    for name in MACHINES:
+        cl = Cluster([get_machine(name)], perf=perf)
+        rep = simulate_execution(trace, cl)
+        times.append(rep.runtime_seconds)
+    return np.array(times)
+
+
+def main():
+    real = {n: load_dataset(n, scale=SCALE) for n in dataset_names("real")}
+    proxies = {n: load_dataset(n, scale=SCALE) for n in dataset_names("synthetic")}
+
+    threads = np.array([get_machine(n).compute_threads for n in MACHINES], float)
+    prior = threads / threads[0]
+    print("machines:", MACHINES)
+    print("prior-work estimate:", np.round(prior, 2))
+
+    for app in DEFAULT_APPS:
+        real_speed = np.mean(
+            [profile_times(app, g)[0] / profile_times(app, g) for g in real.values()],
+            axis=0,
+        )
+        proxy_speed = np.mean(
+            [profile_times(app, g)[0] / profile_times(app, g) for g in proxies.values()],
+            axis=0,
+        )
+        err_proxy = np.mean(np.abs(proxy_speed - real_speed) / real_speed) * 100
+        err_prior = np.mean(np.abs(prior - real_speed) / real_speed) * 100
+        print(
+            f"{app:22s} real={np.round(real_speed,2)} proxy={np.round(proxy_speed,2)} "
+            f"errP={err_proxy:5.1f}% errThreads={err_prior:6.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

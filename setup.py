@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Configuration lives in pyproject.toml; this file only enables the legacy
+editable-install path (`pip install -e . --no-build-isolation`) in offline
+containers where PEP-517 editable builds cannot run.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Graph applications (Section IV of the paper).
+
+Four MLDM workloads, implemented as real algorithms on the simulated
+engine (results are verified against NetworkX in the test suite):
+
+* :class:`PageRank` — memory-bound iterative ranking (Eq. 8).
+* :class:`GraphColoring` — asynchronous greedy colouring.
+* :class:`ConnectedComponents` — weakly-connected min-label propagation.
+* :class:`TriangleCount` — neighbour-set intersection counting.
+
+Each application carries a calibrated :class:`~repro.engine.AppCostModel`
+describing its arithmetic intensity; the diversity of those models is what
+makes per-application CCR profiling necessary (Fig. 2).
+"""
+
+from repro.apps.pagerank import PageRank
+from repro.apps.coloring import GraphColoring
+from repro.apps.connected_components import ConnectedComponents
+from repro.apps.triangle_count import TriangleCount, undirected_simple_edges
+from repro.apps.registry import APP_FACTORIES, DEFAULT_APPS, app_names, make_app
+
+__all__ = [
+    "PageRank",
+    "GraphColoring",
+    "ConnectedComponents",
+    "TriangleCount",
+    "undirected_simple_edges",
+    "APP_FACTORIES",
+    "DEFAULT_APPS",
+    "app_names",
+    "make_app",
+]

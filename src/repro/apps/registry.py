@@ -1,0 +1,51 @@
+"""Application registry.
+
+The four MLDM applications of Section IV, instantiable by name.  The
+profiler builds one profiling set per registered application (Fig. 7a:
+"it is necessary to profile each application because graph applications
+are naturally diverse"), and any special-purpose application added here is
+automatically sampled by the same flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.apps.coloring import GraphColoring
+from repro.apps.connected_components import ConnectedComponents
+from repro.apps.pagerank import PageRank
+from repro.apps.triangle_count import TriangleCount
+from repro.engine.vertex_program import GraphApplication
+
+__all__ = ["APP_FACTORIES", "DEFAULT_APPS", "make_app", "app_names"]
+
+APP_FACTORIES: Dict[str, Callable[[], GraphApplication]] = {
+    "pagerank": PageRank,
+    "coloring": GraphColoring,
+    "connected_components": ConnectedComponents,
+    "triangle_count": TriangleCount,
+}
+
+#: The paper's evaluation order.
+DEFAULT_APPS: Tuple[str, ...] = (
+    "pagerank",
+    "coloring",
+    "connected_components",
+    "triangle_count",
+)
+
+
+def app_names() -> Tuple[str, ...]:
+    """Registered application names."""
+    return tuple(APP_FACTORIES)
+
+
+def make_app(name: str, **kwargs) -> GraphApplication:
+    """Instantiate an application by name with optional constructor args."""
+    try:
+        factory = APP_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; available: {sorted(APP_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

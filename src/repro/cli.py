@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's main entry points without writing code:
+
+* ``generate``  — produce a synthetic power-law graph or a Table II
+  stand-in and write it to disk (edge list or ``.npz``).
+* ``profile``   — run proxy profiling for a cluster and print/persist the
+  CCR pool (the one-time offline step of Fig. 7a).
+* ``process``   — the Fig. 7b flow: run an application on a graph over a
+  described cluster, under a chosen capability policy.
+* ``experiment``— regenerate one of the paper's tables/figures.
+
+Clusters are described as comma-separated machine type names from the
+catalog (e.g. ``m4.2xlarge,m4.2xlarge,c4.2xlarge,c4.2xlarge``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+
+def _build_cluster(spec: str, scale: float):
+    from repro.cluster.catalog import get_machine
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.perfmodel import PerformanceModel
+
+    names = [s.strip() for s in spec.split(",") if s.strip()]
+    if not names:
+        raise SystemExit("error: empty cluster description")
+    machines = [get_machine(n) for n in names]
+    return Cluster(machines, perf=PerformanceModel(model_scale=scale))
+
+
+def _make_estimator(policy: str, scale: float):
+    from repro.core.estimators import (
+        OracleEstimator,
+        ProxyCCREstimator,
+        ThreadCountEstimator,
+        UniformEstimator,
+    )
+    from repro.core.profiler import ProxyProfiler
+    from repro.core.proxy import ProxySet
+
+    if policy == "default":
+        return UniformEstimator()
+    if policy == "threads":
+        return ThreadCountEstimator()
+    if policy == "oracle":
+        return OracleEstimator()
+    if policy == "ccr":
+        proxies = ProxySet(num_vertices=max(1000, round(3_200_000 * scale)))
+        return ProxyCCREstimator(profiler=ProxyProfiler(proxies=proxies))
+    raise SystemExit(f"error: unknown policy {policy!r}")
+
+
+def _load_graph(args):
+    from repro.graph.datasets import load_dataset
+    from repro.graph.io import read_edge_list, read_npz
+
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.graph_file:
+        if args.graph_file.endswith(".npz"):
+            return read_npz(args.graph_file)
+        return read_edge_list(args.graph_file)
+    raise SystemExit("error: provide --dataset or --graph-file")
+
+
+# --------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------- #
+
+
+def cmd_generate(args) -> int:
+    from repro.graph.datasets import load_dataset
+    from repro.graph.io import write_edge_list, write_npz
+    from repro.graph.properties import graph_summary
+    from repro.powerlaw.generator import generate_power_law_graph
+
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale)
+    else:
+        graph = generate_power_law_graph(
+            num_vertices=args.vertices, alpha=args.alpha, seed=args.seed
+        )
+    if args.output.endswith(".npz"):
+        write_npz(graph, args.output)
+    else:
+        write_edge_list(graph, args.output)
+    s = graph_summary(graph)
+    print(
+        f"wrote {args.output}: |V|={s.num_vertices} |E|={s.num_edges} "
+        f"avg degree {s.average_degree:.2f}"
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.profiler import ProxyProfiler
+    from repro.core.proxy import ProxySet
+    from repro.utils.tables import format_table
+
+    cluster = _build_cluster(args.cluster, args.scale)
+    proxies = ProxySet(
+        num_vertices=max(1000, round(3_200_000 * args.scale)), seed=args.seed
+    )
+    apps = args.apps.split(",") if args.apps else None
+    profiler = (
+        ProxyProfiler(proxies=proxies, apps=apps)
+        if apps
+        else ProxyProfiler(proxies=proxies)
+    )
+    report = profiler.profile(cluster)
+
+    rows = []
+    for app in report.pool.apps():
+        for mtype, ratio in sorted(report.pool.get(app).as_dict().items()):
+            rows.append((app, mtype, ratio))
+    print(
+        format_table(
+            headers=("application", "machine type", "CCR"),
+            rows=rows,
+            title=f"CCR pool for {cluster!r}",
+        )
+    )
+    if args.output:
+        report.pool.save(args.output)
+        print(f"pool saved to {args.output}")
+    return 0
+
+
+def cmd_process(args) -> int:
+    from repro.core.flow import ProxyGuidedSystem
+
+    cluster = _build_cluster(args.cluster, args.scale)
+    graph = _load_graph(args)
+    estimator = _make_estimator(args.policy, args.scale)
+    system = ProxyGuidedSystem(cluster, estimator=estimator)
+    outcome = system.process(args.app, graph, partitioner=args.partitioner)
+    report = outcome.report
+
+    print(f"application : {report.app}")
+    print(f"cluster     : {cluster!r}")
+    print(f"policy      : {args.policy} (weights "
+          f"{[round(float(w), 4) for w in outcome.partition.weights]})")
+    print(f"partitioner : {outcome.partition.algorithm} "
+          f"(replication factor {outcome.dgraph.replication_factor:.2f})")
+    print(f"supersteps  : {report.num_supersteps}")
+    print(f"runtime     : {report.runtime_seconds * 1e3:.3f} ms")
+    print(f"energy      : {report.energy_joules:.2f} J")
+    for m in report.machines:
+        print(
+            f"  {m.machine}: busy {m.busy_seconds * 1e3:.3f} ms, "
+            f"utilisation {m.utilization * 100:.0f}%"
+        )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": ("repro.experiments.table1", "run_table1", False),
+    "table2": ("repro.experiments.table2", "run_table2", True),
+    "fig2": ("repro.experiments.fig2", "run_fig2", True),
+    "fig6": ("repro.experiments.fig6", "run_fig6", False),
+    "fig8a": ("repro.experiments.fig8", "run_fig8a", True),
+    "fig8b": ("repro.experiments.fig8", "run_fig8b", True),
+    "fig9": ("repro.experiments.fig9", "run_fig9", True),
+    "fig10a": ("repro.experiments.fig10", "run_case2", True),
+    "fig10b": ("repro.experiments.fig10", "run_case3", True),
+    "fig11": ("repro.experiments.fig11", "run_fig11", True),
+}
+
+
+def cmd_experiment(args) -> int:
+    import importlib
+
+    from repro.utils.tables import format_table
+
+    module_name, func_name, takes_scale = _EXPERIMENTS[args.name]
+    func = getattr(importlib.import_module(module_name), func_name)
+    result = func(scale=args.scale) if takes_scale else func()
+    rows = result.rows()
+    headers = (
+        result.headers()
+        if hasattr(result, "headers")
+        else tuple(f"col{i}" for i in range(len(rows[0]) if rows else 0))
+    )
+    print(format_table(headers=headers, rows=rows, title=f"experiment {args.name}"))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proxy-guided load balancing of graph workloads "
+        "(ICPP 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a graph and write it")
+    gen.add_argument("--dataset", help="Table II dataset name")
+    gen.add_argument("--vertices", type=int, default=10_000)
+    gen.add_argument("--alpha", type=float, default=2.1)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--output", required=True, help=".npz or edge-list path")
+    gen.set_defaults(func=cmd_generate)
+
+    prof = sub.add_parser("profile", help="proxy-profile a cluster (Fig. 7a)")
+    prof.add_argument("--cluster", required=True,
+                      help="comma-separated machine types")
+    prof.add_argument("--apps", help="comma-separated app names (default all)")
+    prof.add_argument("--scale", type=float, default=0.01)
+    prof.add_argument("--seed", type=int, default=100)
+    prof.add_argument("--output", help="write the CCR pool JSON here")
+    prof.set_defaults(func=cmd_profile)
+
+    proc = sub.add_parser("process", help="run an application (Fig. 7b)")
+    proc.add_argument("--cluster", required=True)
+    proc.add_argument("--app", required=True)
+    proc.add_argument("--dataset", help="Table II dataset name")
+    proc.add_argument("--graph-file", help="edge list or .npz path")
+    proc.add_argument("--policy", default="ccr",
+                      choices=("default", "threads", "ccr", "oracle"))
+    proc.add_argument("--partitioner", default="hybrid")
+    proc.add_argument("--scale", type=float, default=0.01)
+    proc.set_defaults(func=cmd_process)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=0.01)
+    exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Simulated heterogeneous cluster substrate.
+
+This package replaces the paper's physical testbed (Amazon EC2 instances
+and local Xeon servers):
+
+* :mod:`repro.cluster.machine` -- machine specifications, including the
+  "2 logical cores reserved for communication" rule the prior-work
+  estimator relies on.
+* :mod:`repro.cluster.catalog` -- Table I machine types plus the local
+  servers and the Case-3 emulated tiny server.
+* :mod:`repro.cluster.perfmodel` -- the analytical roofline model that
+  turns counted application work into per-machine time (see DESIGN.md for
+  the calibration rationale).
+* :mod:`repro.cluster.power` -- RAPL-like energy accounting.
+* :mod:`repro.cluster.network` -- mirror-synchronisation cost model.
+* :mod:`repro.cluster.cluster` -- cluster composition and the profiling
+  group rule of Section III-B.
+"""
+
+from repro.cluster.machine import MachineSpec, COMM_RESERVED_THREADS
+from repro.cluster.catalog import (
+    CATALOG,
+    EC2_CATALOG,
+    LOCAL_CATALOG,
+    get_machine,
+    machine_names,
+    tiny_server,
+    xeon_large,
+    xeon_small,
+)
+from repro.cluster.perfmodel import PerformanceModel, WorkProfile
+from repro.cluster.power import EnergyCounter, EnergySample, machine_energy
+from repro.cluster.network import NetworkModel
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "MachineSpec",
+    "COMM_RESERVED_THREADS",
+    "CATALOG",
+    "EC2_CATALOG",
+    "LOCAL_CATALOG",
+    "get_machine",
+    "machine_names",
+    "tiny_server",
+    "xeon_large",
+    "xeon_small",
+    "PerformanceModel",
+    "WorkProfile",
+    "EnergyCounter",
+    "EnergySample",
+    "machine_energy",
+    "NetworkModel",
+    "Cluster",
+]

@@ -1,0 +1,123 @@
+"""Cluster composition and machine grouping.
+
+A :class:`Cluster` is an ordered list of machine instances (possibly of
+mixed types — that is the point), a network model and a performance model.
+It also implements the grouping rule of Section III-B: machines of the
+same type form a *group*, and only one representative per group needs to
+be profiled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkModel
+from repro.cluster.perfmodel import PerformanceModel
+from repro.errors import ClusterError
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A (possibly heterogeneous) set of machines.
+
+    Parameters
+    ----------
+    machines:
+        Machine specs in slot order; ``machines[i]`` hosts partition ``i``.
+    network:
+        Interconnect model shared by all machines.
+    perf:
+        Performance model translating work into time.
+
+    Notes
+    -----
+    The cluster is immutable; experiments derive variants by constructing
+    new instances.  Machine *instances* may repeat a spec — e.g. Case 1 is
+    ``[m4.2xlarge, m4.2xlarge, c4.2xlarge, c4.2xlarge]``.
+    """
+
+    __slots__ = ("machines", "network", "perf")
+
+    def __init__(
+        self,
+        machines: Sequence[MachineSpec],
+        network: NetworkModel = None,
+        perf: PerformanceModel = None,
+    ):
+        machines = tuple(machines)
+        if not machines:
+            raise ClusterError("a cluster needs at least one machine")
+        object.__setattr__(self, "machines", machines)
+        object.__setattr__(
+            self, "network", network if network is not None else NetworkModel()
+        )
+        object.__setattr__(
+            self, "perf", perf if perf is not None else PerformanceModel()
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Cluster is immutable")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the machine count is a perfect square (Grid needs it)."""
+        root = math.isqrt(self.num_machines)
+        return root * root == self.num_machines
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all machines are of one type."""
+        return len({m.name for m in self.machines}) == 1
+
+    def groups(self) -> Dict[str, List[int]]:
+        """Machine slots grouped by type name (Section III-B grouping).
+
+        Returns a mapping ``type name -> slot indices``, insertion-ordered
+        by first appearance.
+        """
+        out: Dict[str, List[int]] = {}
+        for i, m in enumerate(self.machines):
+            out.setdefault(m.name, []).append(i)
+        return out
+
+    def representatives(self) -> Dict[str, MachineSpec]:
+        """One machine spec per group — the profiling set of Fig. 7a."""
+        reps: Dict[str, MachineSpec] = {}
+        for m in self.machines:
+            reps.setdefault(m.name, m)
+        return reps
+
+    def compute_threads(self) -> Tuple[int, ...]:
+        """Per-slot compute-thread counts (prior work's only input)."""
+        return tuple(m.compute_threads for m in self.machines)
+
+    def hourly_cost(self) -> float:
+        """Summed hourly price of all priced machines.
+
+        Raises if any machine is unpriced — mixing priced and unpriced
+        nodes in a cost analysis would silently understate the bill.
+        """
+        costs = []
+        for m in self.machines:
+            if m.cost_per_hour is None:
+                raise ClusterError(
+                    f"machine {m.name!r} has no price; cost analysis needs "
+                    "priced (virtual) machines only"
+                )
+            costs.append(m.cost_per_hour)
+        return float(sum(costs))
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{len(slots)}x {name}" for name, slots in self.groups().items()
+        )
+        return f"Cluster({kinds})"

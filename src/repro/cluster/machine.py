@@ -1,0 +1,134 @@
+"""Machine specifications.
+
+A :class:`MachineSpec` captures everything the simulator needs to know
+about a node: the hardware-visible parallelism (Table I's "HW Threads" and
+"Computing Threads"), per-core speed (frequency × IPC), the memory system
+(bandwidth, last-level cache) and a simple power envelope.  The paper's
+"prior work" estimator reads only the thread counts; the performance model
+in :mod:`repro.cluster.perfmodel` uses all of it — that difference is the
+whole point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ClusterError
+
+__all__ = ["MachineSpec", "COMM_RESERVED_THREADS"]
+
+# PowerGraph reserves two logical cores per node for communication threads
+# (Section III-B: "two logical cores on each node are reserved for
+# communication"); the prior-work estimator subtracts them, and so does the
+# engine when it schedules compute.
+COMM_RESERVED_THREADS = 2
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one machine type.
+
+    Attributes
+    ----------
+    name:
+        Type name, e.g. ``"c4.2xlarge"`` or ``"xeon_l"``.  Machines of the
+        same name form one *group* for profiling (Section III-B).
+    hw_threads:
+        Hardware threads exposed to the OS (Table I "HW Threads").
+    freq_ghz:
+        Sustained core clock in GHz.
+    ipc:
+        Relative per-clock throughput of one core (micro-architecture
+        factor; 1.0 = Haswell-class baseline).
+    mem_bw_gbs:
+        Achievable memory bandwidth in GB/s for streaming access.  On
+        virtualised hosts this is the *instance share*, which grows
+        sublinearly with instance size.
+    llc_mb:
+        Last-level cache available to the instance, in MB.
+    idle_watts:
+        Package power when the node is on but idle.
+    dyn_watts_per_thread:
+        Additional power per busy hardware thread at full activity.
+    cost_per_hour:
+        Hourly price in USD (Table I "Cost Rate"); ``None`` for local
+        physical machines, which Amazon does not price.
+    kind:
+        ``"virtual"`` (cloud instance) or ``"physical"`` (local server).
+    """
+
+    name: str
+    hw_threads: int
+    freq_ghz: float
+    ipc: float = 1.0
+    mem_bw_gbs: float = 10.0
+    llc_mb: float = 8.0
+    idle_watts: float = 40.0
+    dyn_watts_per_thread: float = 4.0
+    cost_per_hour: Optional[float] = None
+    kind: str = "virtual"
+
+    def __post_init__(self):
+        if self.hw_threads < 1:
+            raise ClusterError(f"{self.name}: hw_threads must be >= 1")
+        for attr in ("freq_ghz", "ipc", "mem_bw_gbs", "llc_mb"):
+            if getattr(self, attr) <= 0:
+                raise ClusterError(f"{self.name}: {attr} must be > 0")
+        for attr in ("idle_watts", "dyn_watts_per_thread"):
+            if getattr(self, attr) < 0:
+                raise ClusterError(f"{self.name}: {attr} must be >= 0")
+        if self.cost_per_hour is not None and self.cost_per_hour <= 0:
+            raise ClusterError(f"{self.name}: cost_per_hour must be > 0")
+        if self.kind not in ("virtual", "physical"):
+            raise ClusterError(
+                f"{self.name}: kind must be 'virtual' or 'physical', got {self.kind!r}"
+            )
+
+    @property
+    def compute_threads(self) -> int:
+        """Threads available for graph computation (Table I column).
+
+        Two logical cores are reserved for communication, with a floor of
+        one compute thread so degenerate machines remain usable.
+        """
+        return max(1, self.hw_threads - COMM_RESERVED_THREADS)
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak compute rate in abstract giga-ops/s with all compute threads."""
+        return self.compute_threads * self.freq_ghz * self.ipc
+
+    def scaled_frequency(self, freq_ghz: float, mem_bw_scale: float = None) -> "MachineSpec":
+        """Derive an emulated machine running at a different frequency.
+
+        This mirrors the paper's Case 3 methodology, which manipulates the
+        processor frequency range of local servers to emulate tiny
+        (ARM-like) nodes.  Scaling the core clock on a real part does not
+        scale the memory system one-for-one, but the emulated *tiny server*
+        the paper targets has a proportionally weaker uncore, so by default
+        the memory bandwidth is scaled by the same ratio.
+
+        Parameters
+        ----------
+        freq_ghz:
+            New sustained clock.
+        mem_bw_scale:
+            Explicit memory-bandwidth multiplier; defaults to
+            ``freq_ghz / self.freq_ghz``.
+        """
+        if freq_ghz <= 0:
+            raise ClusterError("freq_ghz must be > 0")
+        ratio = freq_ghz / self.freq_ghz
+        scale = ratio if mem_bw_scale is None else mem_bw_scale
+        if scale <= 0:
+            raise ClusterError("mem_bw_scale must be > 0")
+        return replace(
+            self,
+            name=f"{self.name}@{freq_ghz:.1f}GHz",
+            freq_ghz=freq_ghz,
+            mem_bw_gbs=self.mem_bw_gbs * scale,
+            # Lower clock also lowers the dynamic power envelope (roughly
+            # linearly at fixed voltage; conservative for DVFS).
+            dyn_watts_per_thread=self.dyn_watts_per_thread * ratio,
+        )

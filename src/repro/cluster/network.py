@@ -1,0 +1,80 @@
+"""Interconnect model.
+
+The paper's clusters are connected through a high-speed router (local
+testbed) or EC2 networking, and PowerGraph synchronises vertex mirrors at
+every superstep barrier.  The model here is a per-machine latency/bandwidth
+pipe: the time a machine spends in the exchange phase is a fixed per-round
+latency plus its mirror traffic divided by its link bandwidth.
+
+The paper explicitly scopes communication *optimisation* out ("minimizing
+communication overheads ... is beyond the scope of this paper"), but the
+replication factor of the partitioning algorithms still matters — Hybrid
+and Ginger win partly by creating fewer mirrors — so the exchange cost must
+be present, just not dominant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+__all__ = ["NetworkModel"]
+
+_GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point exchange cost model.
+
+    Attributes
+    ----------
+    bandwidth_gbs:
+        Effective per-machine exchange bandwidth in GB/s.  The default
+        corresponds to 10 GbE links (1.25 GB/s each way) used full duplex
+        with PowerGraph's message batching/combining — calibrated so that
+        communication sits below computation for the mid-replication
+        partitioners, which is what the paper's EC2 speedups imply.
+    latency_s:
+        Fixed cost per synchronisation round (barrier + message setup).
+    """
+
+    bandwidth_gbs: float = 3.0
+    latency_s: float = 200e-6
+
+    def __post_init__(self):
+        if self.bandwidth_gbs <= 0:
+            raise ClusterError("bandwidth_gbs must be > 0")
+        if self.latency_s < 0:
+            raise ClusterError("latency_s must be >= 0")
+
+    def transfer_time(
+        self, payload_bytes: float, rounds: int = 1, latency_scale: float = 1.0
+    ) -> float:
+        """Seconds for one machine to exchange ``payload_bytes``.
+
+        Parameters
+        ----------
+        payload_bytes:
+            Bytes sent + received by the machine during the phase.
+        rounds:
+            Number of latency-bound synchronisation rounds in the phase
+            (a GAS superstep has two: gather aggregation and apply
+            broadcast).
+        latency_scale:
+            Multiplier on the fixed per-round latency.  Simulations of
+            scaled-down graphs pass the model scale here: payload shrinks
+            with the graph automatically, but the fixed latency must be
+            shrunk explicitly to keep the communication-to-computation
+            ratio at its full-scale value.
+        """
+        if payload_bytes < 0:
+            raise ClusterError("payload_bytes must be >= 0")
+        if rounds < 0:
+            raise ClusterError("rounds must be >= 0")
+        if latency_scale < 0:
+            raise ClusterError("latency_scale must be >= 0")
+        return self.latency_s * latency_scale * rounds + payload_bytes / (
+            self.bandwidth_gbs * _GIGA
+        )

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: proxy-guided load balancing.
+
+* :mod:`repro.core.ccr` -- the Computation Capability Ratio metric
+  (Eq. 1) and the reusable CCR pool.
+* :mod:`repro.core.proxy` -- synthetic proxy-graph set with the paper's
+  alpha coverage rule.
+* :mod:`repro.core.profiler` -- the Fig. 7a profiling flow over machine
+  groups.
+* :mod:`repro.core.estimators` -- pluggable capability policies: default
+  uniform, prior-work thread counts, proxy CCRs, and an oracle bound.
+* :mod:`repro.core.flow` -- the Fig. 7b end-to-end processing system.
+* :mod:`repro.core.cost` -- the Section V-C cost-efficiency projection.
+"""
+
+from repro.core.ccr import CCRPool, CCRTable, ccr_from_times
+from repro.core.proxy import DEFAULT_PROXY_ALPHAS, ProxySet
+from repro.core.profiler import ProfileRecord, ProfileReport, ProxyProfiler
+from repro.core.estimators import (
+    CapabilityEstimator,
+    OracleEstimator,
+    ProxyCCREstimator,
+    ThreadCountEstimator,
+    UniformEstimator,
+)
+from repro.core.flow import ProxyGuidedSystem
+from repro.core.cost import CostPoint, cost_efficiency, pareto_front
+from repro.core.online import ClusterUpdate, OnlineCCREstimator, OnlineCCRMonitor
+
+__all__ = [
+    "CCRPool",
+    "CCRTable",
+    "ccr_from_times",
+    "DEFAULT_PROXY_ALPHAS",
+    "ProxySet",
+    "ProfileRecord",
+    "ProfileReport",
+    "ProxyProfiler",
+    "CapabilityEstimator",
+    "OracleEstimator",
+    "ProxyCCREstimator",
+    "ThreadCountEstimator",
+    "UniformEstimator",
+    "ProxyGuidedSystem",
+    "CostPoint",
+    "cost_efficiency",
+    "pareto_front",
+    "ClusterUpdate",
+    "OnlineCCRMonitor",
+    "OnlineCCREstimator",
+]

@@ -1,0 +1,130 @@
+"""Cost-efficiency projection (Section V-C, Fig. 11).
+
+Synthetic-graph profiling quantifies each machine's *cost per task*: the
+product of a task's runtime and the machine's hourly rate.  Plotting cost
+against speedup (both relative to a baseline machine) gives the Pareto
+space of Fig. 11 — which the paper uses to show that, for graph work, the
+biggest machine (c4.8xlarge) is the most expensive per task while the mid
+sizes are the sensible picks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.apps.registry import DEFAULT_APPS, make_app
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.core.proxy import ProxySet
+from repro.engine.report import simulate_execution
+from repro.engine.runtime import GraphProcessingSystem
+from repro.errors import ClusterError
+
+__all__ = ["CostPoint", "cost_efficiency", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One (machine, application) point of the Fig. 11 Pareto space."""
+
+    machine: str
+    app: str
+    runtime_seconds: float
+    speedup: float
+    """Runtime ratio against the baseline machine (higher is faster)."""
+    cost_per_task: float
+    """Runtime × hourly rate, in USD."""
+    relative_cost: float
+    """Cost per task relative to the most expensive machine for the app."""
+
+
+def cost_efficiency(
+    machines: Iterable[MachineSpec],
+    cluster_template: Cluster,
+    apps: Iterable[str] = DEFAULT_APPS,
+    proxies: Optional[ProxySet] = None,
+    baseline: Optional[str] = None,
+) -> List[CostPoint]:
+    """Profile machines with proxies and compute cost-per-task points.
+
+    Parameters
+    ----------
+    machines:
+        Priced machine specs to compare.
+    cluster_template:
+        Supplies the performance/network models (so the study uses the
+        same simulation configuration as the experiments).
+    apps:
+        Applications to include.
+    proxies:
+        Proxy set used for the profiling runs (defaults to the paper's).
+    baseline:
+        Machine name whose runtime anchors ``speedup = 1``; defaults to
+        the slowest machine per application.
+    """
+    machines = list(machines)
+    if not machines:
+        raise ClusterError("cost study needs at least one machine")
+    for m in machines:
+        if m.cost_per_hour is None:
+            raise ClusterError(
+                f"machine {m.name!r} has no hourly rate; Fig. 11 covers "
+                "priced (cloud) machines"
+            )
+    proxies = proxies if proxies is not None else ProxySet()
+    graphs = proxies.graphs()
+
+    points: List[CostPoint] = []
+    for app_name in apps:
+        # One trace per proxy, priced on each machine.
+        times: Dict[str, float] = {m.name: 0.0 for m in machines}
+        for graph in graphs.values():
+            system = GraphProcessingSystem(cluster_template)
+            trace = system.run_single_machine(make_app(app_name), graph)
+            for m in machines:
+                solo = Cluster(
+                    [m],
+                    network=cluster_template.network,
+                    perf=cluster_template.perf,
+                )
+                times[m.name] += simulate_execution(trace, solo).runtime_seconds
+
+        if baseline is None:
+            anchor = max(times.values())
+        else:
+            if baseline not in times:
+                raise ClusterError(f"baseline machine {baseline!r} not in study")
+            anchor = times[baseline]
+
+        costs = {
+            m.name: times[m.name] / 3600.0 * m.cost_per_hour for m in machines
+        }
+        max_cost = max(costs.values())
+        for m in machines:
+            points.append(
+                CostPoint(
+                    machine=m.name,
+                    app=app_name,
+                    runtime_seconds=times[m.name],
+                    speedup=anchor / times[m.name],
+                    cost_per_task=costs[m.name],
+                    relative_cost=costs[m.name] / max_cost,
+                )
+            )
+    return points
+
+
+def pareto_front(points: Iterable[CostPoint]) -> List[CostPoint]:
+    """Non-dominated subset: no other point is faster *and* cheaper."""
+    pts = list(points)
+    front = []
+    for p in pts:
+        dominated = any(
+            (q.speedup >= p.speedup and q.cost_per_task < p.cost_per_task)
+            or (q.speedup > p.speedup and q.cost_per_task <= p.cost_per_task)
+            for q in pts
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.speedup)

@@ -1,0 +1,136 @@
+"""Proxy-graph profiling for heterogeneous clusters (Fig. 7a).
+
+The flow the paper describes:
+
+1. generate synthetic proxy graphs (once);
+2. combine each with every application into *profiling sets*;
+3. group the cluster's machines by type and run each profiling set on one
+   representative per group, in isolation ("each machine's graph
+   computation power can be captured without communication interference");
+4. convert the per-group runtimes into per-application CCRs (Eq. 1) and
+   collect them into the pool.
+
+Implementation note: the engine records machine-agnostic execution traces,
+so each profiling set is *executed once* and then priced on every machine
+type — the simulation equivalent of running the same binary on each
+representative in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.apps.registry import DEFAULT_APPS, make_app
+from repro.cluster.cluster import Cluster
+from repro.core.ccr import CCRPool, CCRTable, ccr_from_times
+from repro.core.proxy import ProxySet
+from repro.engine.report import simulate_execution
+from repro.engine.runtime import GraphProcessingSystem
+from repro.errors import ProfilingError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ProfileRecord", "ProfileReport", "ProxyProfiler"]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """Runtime of one (application, proxy graph, machine type) sample."""
+
+    app: str
+    proxy: str
+    machine_type: str
+    runtime_seconds: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything one profiling pass produced."""
+
+    pool: CCRPool
+    records: List[ProfileRecord]
+
+    def runtimes(self, app: str, machine_type: str) -> List[float]:
+        return [
+            r.runtime_seconds
+            for r in self.records
+            if r.app == app and r.machine_type == machine_type
+        ]
+
+
+class ProxyProfiler:
+    """Profiles a heterogeneous cluster with synthetic proxy graphs.
+
+    Parameters
+    ----------
+    proxies:
+        The proxy set; a default paper-like set is created when omitted.
+    apps:
+        Application names to profile (default: the paper's four).
+
+    Notes
+    -----
+    Profiling is a one-time offline process; re-profiling is needed only
+    when new machine *types* join the cluster (Section III-B).  Callers
+    that change cluster composition among existing types can reuse the
+    pool unchanged.
+    """
+
+    def __init__(
+        self,
+        proxies: Optional[ProxySet] = None,
+        apps: Iterable[str] = DEFAULT_APPS,
+    ):
+        self.proxies = proxies if proxies is not None else ProxySet()
+        self.apps = tuple(apps)
+        if not self.apps:
+            raise ProfilingError("at least one application must be profiled")
+
+    # ------------------------------------------------------------------ #
+
+    def profile(self, cluster: Cluster) -> ProfileReport:
+        """Profile all applications on the cluster's machine groups."""
+        reps = cluster.representatives()
+        graphs = self.proxies.graphs()
+        records: List[ProfileRecord] = []
+        pool = CCRPool()
+
+        for app_name in self.apps:
+            per_machine: Dict[str, float] = {name: 0.0 for name in reps}
+            for proxy_name, graph in graphs.items():
+                times = self._time_on_machines(app_name, graph, cluster, reps)
+                for mtype, t in times.items():
+                    per_machine[mtype] += t
+                    records.append(
+                        ProfileRecord(app_name, proxy_name, mtype, t)
+                    )
+            pool.add(CCRTable(app=app_name, ratios=ccr_from_times(per_machine)))
+        return ProfileReport(pool=pool, records=records)
+
+    def profile_graph(
+        self, app_name: str, graph: DiGraph, cluster: Cluster
+    ) -> CCRTable:
+        """CCR measured directly on one graph (the 'oracle' reference).
+
+        This is what profiling with the *real* input would yield — too
+        expensive in production (the whole point of proxies) but the
+        ground truth the accuracy evaluation (Fig. 8) compares against.
+        """
+        reps = cluster.representatives()
+        times = self._time_on_machines(app_name, graph, cluster, reps)
+        return CCRTable(app=app_name, ratios=ccr_from_times(times))
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _time_on_machines(
+        app_name: str, graph: DiGraph, cluster: Cluster, reps
+    ) -> Dict[str, float]:
+        """Single-machine runtimes of one profiling set per machine type."""
+        system = GraphProcessingSystem(cluster)
+        trace = system.run_single_machine(make_app(app_name), graph)
+        times: Dict[str, float] = {}
+        for mtype, spec in reps.items():
+            solo = Cluster([spec], network=cluster.network, perf=cluster.perf)
+            times[mtype] = simulate_execution(trace, solo).runtime_seconds
+        return times

@@ -1,0 +1,104 @@
+"""Execution traces: what each machine did, superstep by superstep.
+
+A trace is the engine's only output besides the algorithm result.  It is
+*machine-agnostic*: it records counted work (as
+:class:`~repro.cluster.perfmodel.WorkProfile`) and communication volume,
+and :mod:`repro.engine.report` prices it on a concrete cluster.  Pricing a
+trace is O(supersteps × machines), which is what makes re-evaluating the
+same execution on many machine types (CCR profiling, cost studies) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.cluster.perfmodel import WorkProfile
+from repro.errors import EngineError
+
+__all__ = ["MachinePhase", "SuperstepTrace", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class MachinePhase:
+    """One machine's activity during one superstep."""
+
+    work: WorkProfile
+    comm_bytes: float = 0.0
+
+    def __post_init__(self):
+        if self.comm_bytes < 0:
+            raise EngineError("comm_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class SuperstepTrace:
+    """One barrier-to-barrier superstep across the whole cluster."""
+
+    phases: Sequence[MachinePhase]
+    sync_rounds: int = 2
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.phases:
+            raise EngineError("a superstep needs at least one machine phase")
+        if self.sync_rounds < 0:
+            raise EngineError("sync_rounds must be >= 0")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.phases)
+
+
+@dataclass
+class ExecutionTrace:
+    """Full record of one application execution on a distributed graph.
+
+    Attributes
+    ----------
+    app:
+        Application name.
+    num_machines:
+        Cluster width the trace was captured on.
+    supersteps:
+        Ordered superstep records.
+    result:
+        Application-specific outputs (ranks, labels, counts, ...); carried
+        along so correctness checks and reports share one object.
+    """
+
+    app: str
+    num_machines: int
+    supersteps: List[SuperstepTrace] = field(default_factory=list)
+    result: Dict[str, Any] = field(default_factory=dict)
+
+    def append(self, step: SuperstepTrace) -> None:
+        if step.num_machines != self.num_machines:
+            raise EngineError(
+                f"superstep spans {step.num_machines} machines, trace has "
+                f"{self.num_machines}"
+            )
+        self.supersteps.append(step)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    def total_work(self) -> List[WorkProfile]:
+        """Per-machine aggregate work over all supersteps."""
+        totals = [WorkProfile() for _ in range(self.num_machines)]
+        for step in self.supersteps:
+            totals = [t + p.work for t, p in zip(totals, step.phases)]
+        return totals
+
+    def total_edge_flops(self) -> float:
+        """Total parallel compute across machines and supersteps."""
+        return float(
+            sum(p.work.flops for s in self.supersteps for p in s.phases)
+        )
+
+    def total_comm_bytes(self) -> float:
+        return float(
+            sum(p.comm_bytes for s in self.supersteps for p in s.phases)
+        )

@@ -1,0 +1,55 @@
+"""Library-wide exception hierarchy.
+
+Every error deliberately raised by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.  Subclasses map onto the major subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "PartitionError",
+    "ClusterError",
+    "ProfilingError",
+    "EngineError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or use (bad endpoints, empty graph, ...)."""
+
+
+class GraphFormatError(GraphError):
+    """Malformed on-disk graph data (edge-list parse failures)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning request (bad weights, wrong machine count, ...)."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster or machine configuration."""
+
+
+class ProfilingError(ReproError):
+    """CCR profiling failures (empty proxy set, missing application, ...)."""
+
+
+class EngineError(ReproError):
+    """Graph-engine execution failures."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical procedure failed to converge.
+
+    Raised e.g. by the Newton solver for the power-law exponent when the
+    requested average degree cannot be matched within the iteration budget.
+    """

@@ -1,0 +1,70 @@
+"""Fig. 2: speedup estimated by prior work vs. real speedup.
+
+The paper's motivating figure: across machines of increasing size, the
+resource-based estimate of prior work (dotted line — proportional to
+computing threads) diverges wildly from the measured scaling of each
+application, and the applications diverge from *each other* — PageRank
+saturates while Triangle Count keeps climbing.  Both observations are what
+justify per-application proxy profiling.
+
+This experiment reuses the Fig. 8a machinery but reports it the way
+Fig. 2 plots it: one real-speedup line per application plus the single
+prior-work estimate line, over the machine ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.registry import DEFAULT_APPS
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.fig8 import Fig8Result, run_fig8a
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Speedup lines of Fig. 2."""
+
+    machines: Tuple[str, ...]
+    prior_estimate: Tuple[float, ...]
+    real_speedups: Dict[str, Tuple[float, ...]]
+
+    def saturating_apps(self, threshold: float = 1.25) -> List[str]:
+        """Applications whose final machine step gains < ``threshold``×.
+
+        PageRank is the paper's example of saturation between the last two
+        machines.
+        """
+        out = []
+        for app, series in self.real_speedups.items():
+            if len(series) >= 2 and series[-1] / series[-2] < threshold:
+                out.append(app)
+        return out
+
+    def rows(self):
+        out = []
+        for i, m in enumerate(self.machines):
+            row = [m, self.prior_estimate[i]]
+            row.extend(self.real_speedups[a][i] for a in self.real_speedups)
+            out.append(tuple(row))
+        return out
+
+    def headers(self):
+        return tuple(["machine", "prior_estimate"] + list(self.real_speedups))
+
+
+def run_fig2(
+    scale: float = DEFAULT_SCALE,
+    apps: Sequence[str] = DEFAULT_APPS,
+    seed: int = 100,
+) -> Fig2Result:
+    """Measure real per-application scaling against the thread estimate."""
+    ladder: Fig8Result = run_fig8a(scale=scale, apps=apps, seed=seed)
+    return Fig2Result(
+        machines=ladder.machines,
+        prior_estimate=ladder.apps[0].prior,
+        real_speedups={a.app: a.real for a in ladder.apps},
+    )

@@ -1,0 +1,65 @@
+"""Graph substrate: compact directed graphs and datasets.
+
+This package provides the graph representation every other subsystem builds
+on:
+
+* :mod:`repro.graph.digraph` -- an immutable, CSR-backed directed graph
+  tuned for vectorised traversal (the simulated PowerGraph engine iterates
+  edges as NumPy arrays, never as Python objects).
+* :mod:`repro.graph.builder` -- incremental edge accumulation with optional
+  deduplication and self-loop removal.
+* :mod:`repro.graph.io` -- plain edge-list serialisation (the format the
+  paper's framework ingests).
+* :mod:`repro.graph.properties` -- degree analytics used by Table II and the
+  power-law machinery.
+* :mod:`repro.graph.datasets` -- stand-ins for the paper's four SNAP graphs
+  (amazon, citation, social network, wiki) generated at configurable scale
+  with matching power-law exponent and density.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import read_edge_list, read_npz, write_edge_list, write_npz
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    degree_histogram,
+    degree_distribution,
+    average_degree,
+    graph_summary,
+    GraphSummary,
+)
+from repro.graph.datasets import (
+    DatasetSpec,
+    DATASETS,
+    load_dataset,
+    dataset_names,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "read_edge_list",
+    "read_npz",
+    "write_edge_list",
+    "write_npz",
+    "erdos_renyi_graph",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "degree_histogram",
+    "degree_distribution",
+    "average_degree",
+    "graph_summary",
+    "GraphSummary",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,113 @@
+"""Incremental graph construction.
+
+Synthetic generators and file readers produce edges in chunks; the builder
+accumulates chunks without quadratic copying and materialises a
+:class:`~repro.graph.digraph.DiGraph` once.  Options mirror the cleanup the
+paper's pipeline applies to raw edge lists (self-loop and duplicate
+removal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates directed edges and builds a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Fixed vertex-count, or ``None`` to infer ``max endpoint + 1`` at
+        build time.
+    drop_self_loops:
+        Discard edges with ``u == v`` as they arrive.
+    deduplicate:
+        Collapse parallel edges at build time (first occurrence wins,
+        canonical order preserved).
+    """
+
+    def __init__(
+        self,
+        num_vertices: Optional[int] = None,
+        drop_self_loops: bool = False,
+        deduplicate: bool = False,
+    ):
+        if num_vertices is not None and num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._num_vertices = num_vertices
+        self._drop_self_loops = drop_self_loops
+        self._deduplicate = deduplicate
+        self._src_chunks: List[np.ndarray] = []
+        self._dst_chunks: List[np.ndarray] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add one edge.  Prefer :meth:`add_edges` for bulk input."""
+        return self.add_edges(
+            np.asarray([u], dtype=np.int64), np.asarray([v], dtype=np.int64)
+        )
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> "GraphBuilder":
+        """Add a chunk of edges given as parallel endpoint arrays."""
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError(
+                f"src/dst must be equal-length 1-D arrays, got {src.shape} vs {dst.shape}"
+            )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphError("edge endpoints must be non-negative")
+        if self._num_vertices is not None and src.size:
+            hi = max(int(src.max()), int(dst.max()))
+            if hi >= self._num_vertices:
+                raise GraphError(
+                    f"endpoint {hi} exceeds fixed num_vertices={self._num_vertices}"
+                )
+        if self._drop_self_loops and src.size:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if src.size:
+            self._src_chunks.append(src)
+            self._dst_chunks.append(dst)
+            self._count += src.size
+        return self
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Edges accumulated so far (before dedup, after loop dropping)."""
+        return self._count
+
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> DiGraph:
+        """Materialise the accumulated edges as an immutable graph.
+
+        The builder may be reused after ``build``; subsequent edges start a
+        fresh accumulation.
+        """
+        if self._count:
+            src = np.concatenate(self._src_chunks)
+            dst = np.concatenate(self._dst_chunks)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        n = self._num_vertices
+        if n is None:
+            n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+        graph = DiGraph(n, src, dst)
+        if self._deduplicate:
+            graph = graph.deduplicate()
+        self._src_chunks = []
+        self._dst_chunks = []
+        self._count = 0
+        return graph

@@ -1,0 +1,110 @@
+"""Reference graph generators (non-power-law).
+
+The paper's proxies are power-law graphs (see :mod:`repro.powerlaw`);
+these classical topologies complement them for validation, tests and
+sensitivity studies — e.g. measuring how CCR estimates transfer to inputs
+that do *not* follow a power law, or exercising partitioners on known
+extremal structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import SeedLike, make_rng
+
+__all__ = [
+    "erdos_renyi_graph",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+]
+
+
+def erdos_renyi_graph(
+    num_vertices: int, avg_degree: float, seed: SeedLike = 0
+) -> DiGraph:
+    """G(n, m)-style uniform random digraph with ``n * avg_degree`` edges.
+
+    The degree distribution is binomial — the anti-power-law control case.
+    Self loops are excluded; parallel edges may occur (as in natural edge
+    streams).
+    """
+    if num_vertices < 2:
+        raise GraphError("erdos_renyi_graph needs at least 2 vertices")
+    if avg_degree <= 0:
+        raise GraphError("avg_degree must be > 0")
+    rng = make_rng(seed)
+    m = int(round(num_vertices * avg_degree))
+    src = rng.integers(0, num_vertices, size=m, dtype=np.int64)
+    # Draw targets over n-1 slots and skip the source to exclude loops.
+    offset = rng.integers(1, num_vertices, size=m, dtype=np.int64)
+    dst = (src + offset) % num_vertices
+    return DiGraph(num_vertices, src, dst)
+
+
+def ring_graph(num_vertices: int) -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``.
+
+    Diameter ``n - 1``: the worst case for label-propagation supersteps.
+    """
+    if num_vertices < 2:
+        raise GraphError("ring_graph needs at least 2 vertices")
+    src = np.arange(num_vertices, dtype=np.int64)
+    return DiGraph(num_vertices, src, (src + 1) % num_vertices)
+
+
+def star_graph(num_leaves: int, inward: bool = False) -> DiGraph:
+    """Hub 0 connected to ``num_leaves`` leaves.
+
+    The extreme-skew case: one vertex touches every edge, so vertex-cut
+    quality (hub mirror count) is maximally stressed.
+
+    Parameters
+    ----------
+    inward:
+        Edges point leaf→hub instead of hub→leaf.
+    """
+    if num_leaves < 1:
+        raise GraphError("star_graph needs at least 1 leaf")
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    if inward:
+        return DiGraph(num_leaves + 1, leaves, hub)
+    return DiGraph(num_leaves + 1, hub, leaves)
+
+
+def complete_graph(num_vertices: int) -> DiGraph:
+    """All ordered pairs ``(u, v), u != v`` — maximum density."""
+    if num_vertices < 2:
+        raise GraphError("complete_graph needs at least 2 vertices")
+    u, v = np.meshgrid(
+        np.arange(num_vertices, dtype=np.int64),
+        np.arange(num_vertices, dtype=np.int64),
+        indexing="ij",
+    )
+    keep = u != v
+    return DiGraph(num_vertices, u[keep], v[keep])
+
+
+def grid_graph(rows: int, cols: int) -> DiGraph:
+    """2-D lattice with east and south edges — uniform low degree.
+
+    A planar, hub-free counterpoint: every partitioner should achieve a
+    near-perfect edge balance and low replication here.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_graph needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    east_src = ids[:, :-1].ravel()
+    east_dst = ids[:, 1:].ravel()
+    south_src = ids[:-1, :].ravel()
+    south_dst = ids[1:, :].ravel()
+    return DiGraph(
+        rows * cols,
+        np.concatenate([east_src, south_src]),
+        np.concatenate([east_dst, south_dst]),
+    )

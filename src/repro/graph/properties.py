@@ -1,0 +1,109 @@
+"""Degree analytics.
+
+These are the statistics the paper relies on: the average degree
+``|E| / |V|`` feeds the Newton solver for the power-law exponent (Eq. 6–7),
+and the log-log degree distribution is what Fig. 6 plots for Friendster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "average_degree",
+    "degree_histogram",
+    "degree_distribution",
+    "graph_summary",
+    "GraphSummary",
+]
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Average degree ``|E| / |V|`` (Eq. 6 of the paper)."""
+    if graph.num_vertices == 0:
+        raise GraphError("average degree of an empty graph is undefined")
+    return graph.num_edges / graph.num_vertices
+
+
+def degree_histogram(graph: DiGraph, kind: str = "total") -> np.ndarray:
+    """Histogram ``h`` with ``h[d]`` = number of vertices of degree ``d``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    kind:
+        ``"total"``, ``"in"`` or ``"out"``.
+    """
+    degrees = _select_degrees(graph, kind)
+    return np.bincount(degrees)
+
+
+def degree_distribution(
+    graph: DiGraph, kind: str = "total", drop_zero: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical degree distribution as ``(degree values, P(degree))``.
+
+    This is the quantity plotted in Fig. 6: for a power-law graph the points
+    fall on a straight line of slope ``-alpha`` in log-log space.
+
+    Parameters
+    ----------
+    drop_zero:
+        Exclude degree 0 (isolated vertices); log-log plots cannot show it.
+    """
+    hist = degree_histogram(graph, kind)
+    degrees = np.nonzero(hist)[0]
+    counts = hist[degrees]
+    if drop_zero:
+        keep = degrees > 0
+        degrees, counts = degrees[keep], counts[keep]
+    total = counts.sum()
+    if total == 0:
+        raise GraphError("graph has no vertices with positive degree")
+    return degrees, counts / total
+
+
+def _select_degrees(graph: DiGraph, kind: str) -> np.ndarray:
+    if kind == "total":
+        return graph.degrees
+    if kind == "in":
+        return graph.in_degrees
+    if kind == "out":
+        return graph.out_degrees
+    raise ValueError(f"kind must be 'total', 'in' or 'out', got {kind!r}")
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline statistics of a graph (one row of Table II)."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    self_loops: int
+    footprint_mb: float
+
+
+def graph_summary(graph: DiGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (used by the Table II bench)."""
+    if graph.num_vertices == 0:
+        raise GraphError("cannot summarise an empty graph")
+    src, dst = graph.edges()
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=average_degree(graph),
+        max_out_degree=int(graph.out_degrees.max(initial=0)),
+        max_in_degree=int(graph.in_degrees.max(initial=0)),
+        self_loops=int(np.count_nonzero(src == dst)),
+        footprint_mb=graph.footprint_bytes / 1e6,
+    )

@@ -1,0 +1,75 @@
+"""Graph partitioning algorithms (Section II of the paper).
+
+Vertex-cut algorithms — :class:`RandomHashPartitioner`,
+:class:`ObliviousPartitioner`, :class:`GridPartitioner` — and mixed-cut
+algorithms — :class:`HybridPartitioner`, :class:`GingerPartitioner` — each
+accepting a per-machine weight vector.  Uniform weights reproduce the
+original homogeneous algorithms; thread-count weights reproduce prior work
+[LeBeane et al.]; CCR weights (from :mod:`repro.core`) give the paper's
+proxy-guided system.
+"""
+
+from repro.partition.base import PartitionResult, Partitioner, normalize_weights
+from repro.partition.weights import (
+    thread_count_weights,
+    uniform_weights,
+    weights_from_values,
+)
+from repro.partition.random_hash import RandomHashPartitioner
+from repro.partition.oblivious import ObliviousPartitioner
+from repro.partition.grid import GridPartitioner
+from repro.partition.hybrid import HybridPartitioner, DEFAULT_DEGREE_THRESHOLD
+from repro.partition.ginger import GingerPartitioner
+from repro.partition.metrics import (
+    PartitionStats,
+    partition_stats,
+    replication_factor,
+    vertex_presence,
+    weighted_imbalance,
+)
+
+#: All partitioner classes keyed by algorithm name, in the paper's order.
+PARTITIONERS = {
+    cls.name: cls
+    for cls in (
+        RandomHashPartitioner,
+        ObliviousPartitioner,
+        GridPartitioner,
+        HybridPartitioner,
+        GingerPartitioner,
+    )
+}
+
+
+def make_partitioner(name: str, seed: int = 0, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by algorithm name."""
+    try:
+        cls = PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; available: {sorted(PARTITIONERS)}"
+        ) from None
+    return cls(seed=seed, **kwargs)
+
+
+__all__ = [
+    "PartitionResult",
+    "Partitioner",
+    "normalize_weights",
+    "uniform_weights",
+    "thread_count_weights",
+    "weights_from_values",
+    "RandomHashPartitioner",
+    "ObliviousPartitioner",
+    "GridPartitioner",
+    "HybridPartitioner",
+    "GingerPartitioner",
+    "DEFAULT_DEGREE_THRESHOLD",
+    "PARTITIONERS",
+    "make_partitioner",
+    "PartitionStats",
+    "partition_stats",
+    "replication_factor",
+    "vertex_presence",
+    "weighted_imbalance",
+]

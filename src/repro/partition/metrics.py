@@ -1,0 +1,92 @@
+"""Partition quality metrics.
+
+Two families matter for the paper:
+
+* **Load balance** — how closely the per-machine edge shares follow the
+  target weights.  :func:`weighted_imbalance` is 1.0 for a perfect match;
+  values above 1 mean some machine holds more than its share (and will be
+  the straggler at every barrier).
+* **Replication** — vertex cuts replicate vertices; the replication factor
+  (average number of machines hosting a copy of each vertex) drives the
+  mirror-synchronisation traffic in the engine.  Hybrid/Ginger win partly
+  by keeping it low on skewed graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.base import PartitionResult
+
+__all__ = [
+    "PartitionStats",
+    "partition_stats",
+    "replication_factor",
+    "weighted_imbalance",
+    "vertex_presence",
+]
+
+
+def vertex_presence(result: PartitionResult) -> np.ndarray:
+    """Boolean matrix ``(num_vertices, num_machines)``: vertex has a copy.
+
+    A vertex is present on a machine iff at least one of its edges was
+    assigned there.  Isolated vertices are present nowhere (PowerGraph
+    assigns them a master lazily; they carry no work).
+    """
+    graph = result.graph
+    present = np.zeros((graph.num_vertices, result.num_machines), dtype=bool)
+    src, dst = graph.edges()
+    present[src, result.assignment] = True
+    present[dst, result.assignment] = True
+    return present
+
+
+def replication_factor(result: PartitionResult) -> float:
+    """Average replicas per non-isolated vertex (PowerGraph's lambda)."""
+    present = vertex_presence(result)
+    copies = present.sum(axis=1)
+    connected = copies > 0
+    if not np.any(connected):
+        return 0.0
+    return float(copies[connected].mean())
+
+
+def weighted_imbalance(result: PartitionResult) -> float:
+    """Max over machines of (actual edge share) / (target share).
+
+    1.0 is a perfect weighted balance; the straggler penalty of a
+    partitioning grows with this number.
+    """
+    counts = result.edges_per_machine().astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 1.0
+    shares = counts / total
+    return float(np.max(shares / result.weights))
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary of one partitioning (used in reports and ablations)."""
+
+    algorithm: str
+    num_machines: int
+    edges_per_machine: tuple
+    target_weights: tuple
+    weighted_imbalance: float
+    replication_factor: float
+
+
+def partition_stats(result: PartitionResult) -> PartitionStats:
+    """Compute a :class:`PartitionStats` for a partition result."""
+    return PartitionStats(
+        algorithm=result.algorithm,
+        num_machines=result.num_machines,
+        edges_per_machine=tuple(result.edges_per_machine().tolist()),
+        target_weights=tuple(np.round(result.weights, 6).tolist()),
+        weighted_imbalance=weighted_imbalance(result),
+        replication_factor=replication_factor(result),
+    )

@@ -1,0 +1,53 @@
+"""Weight providers: how much of the graph each machine should receive.
+
+Three policies appear in the paper's evaluation:
+
+* :func:`uniform_weights` — the default homogeneous system: every machine
+  receives the same share (Fig. 1's failure mode).
+* :func:`thread_count_weights` — prior work (LeBeane et al. [5]): share
+  proportional to hardware computing slots, i.e. ``hw_threads - 2``
+  communication-reserved cores.  Cheap, but blind to application scaling.
+* CCR weights — the paper's contribution; produced by
+  :mod:`repro.core.ccr` from proxy profiling and passed to the
+  partitioners as a plain weight vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import PartitionError
+from repro.partition.base import normalize_weights
+
+__all__ = ["uniform_weights", "thread_count_weights", "weights_from_values"]
+
+
+def uniform_weights(cluster: Cluster) -> np.ndarray:
+    """Equal share per machine — the heterogeneity-oblivious default."""
+    return np.full(cluster.num_machines, 1.0 / cluster.num_machines)
+
+
+def thread_count_weights(cluster: Cluster) -> np.ndarray:
+    """Prior work's estimate: share proportional to computing threads.
+
+    The paper's example (Section III-B): a 4-thread and an 8-thread machine
+    get a 1:3 ratio, because two logical cores per node are reserved for
+    communication — ``(4-2) : (8-2)``.
+    """
+    threads = np.asarray(cluster.compute_threads(), dtype=np.float64)
+    return threads / threads.sum()
+
+
+def weights_from_values(values: Sequence[float]) -> np.ndarray:
+    """Normalise arbitrary positive capability values into weights.
+
+    Used to turn a CCR vector (or an oracle capability measurement) into a
+    partitioner weight vector.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise PartitionError("values must be a non-empty 1-D sequence")
+    return normalize_weights(v, v.size)

@@ -1,0 +1,42 @@
+"""Power-law toolkit: distribution math, alpha fitting, synthetic graphs.
+
+Implements Section III of the paper:
+
+* :mod:`repro.powerlaw.distribution` -- the truncated discrete power law
+  (Eq. 3-5): pmf, cdf, first moment, sampling.
+* :mod:`repro.powerlaw.alpha_solver` -- the numerical procedure of
+  Section III-A.3: solve ``F(alpha) = E[d] - |E|/|V| = 0`` with Newton's
+  method to recover the exponent of a natural graph from its vertex and
+  edge counts alone (Eq. 7).
+* :mod:`repro.powerlaw.generator` -- Algorithm 1, the synthetic proxy-graph
+  generator.
+* :mod:`repro.powerlaw.validation` -- goodness-of-fit checks that generated
+  graphs actually follow the requested distribution.
+"""
+
+from repro.powerlaw.distribution import PowerLawDistribution
+from repro.powerlaw.alpha_solver import solve_alpha, expected_degree
+from repro.powerlaw.generator import (
+    SyntheticGraphSpec,
+    generate_from_spec,
+    generate_power_law_graph,
+)
+from repro.powerlaw.validation import (
+    fit_alpha_from_graph,
+    loglog_slope,
+    validate_power_law,
+    PowerLawFit,
+)
+
+__all__ = [
+    "PowerLawDistribution",
+    "solve_alpha",
+    "expected_degree",
+    "SyntheticGraphSpec",
+    "generate_from_spec",
+    "generate_power_law_graph",
+    "fit_alpha_from_graph",
+    "loglog_slope",
+    "validate_power_law",
+    "PowerLawFit",
+]

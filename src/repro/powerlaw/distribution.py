@@ -1,0 +1,111 @@
+"""Truncated discrete power-law distribution (Eq. 3-5 of the paper).
+
+A graph follows a power law when the probability of a vertex having degree
+``d`` satisfies ``P(d) ~ d**-alpha`` (Eq. 3).  For finite graphs the paper
+works with the *truncated* distribution over ``d in {1, ..., D}`` whose
+normalisation constant is the generalised harmonic number (Eq. 4):
+
+    P(d) = d**-alpha / sum_{i=1..D} i**-alpha
+
+The first moment (Eq. 5) links the exponent to the measurable average
+degree ``|E|/|V|`` (Eq. 6), which is what the alpha solver inverts.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["PowerLawDistribution"]
+
+# Exponents of natural graphs lie roughly in [1.9, 2.4] (paper, Sec. III-A.3);
+# we accept a wider band so experiments can sweep beyond it.
+ALPHA_MIN = 0.5
+ALPHA_MAX = 8.0
+
+
+class PowerLawDistribution:
+    """Truncated discrete power law on ``{1, ..., max_degree}``.
+
+    Parameters
+    ----------
+    alpha:
+        Positive exponent controlling skew: small ``alpha`` means dense
+        graphs with extremely high-degree vertices (Fig. 6).
+    max_degree:
+        Truncation point ``D``.  For graph generation this is at most
+        ``num_vertices - 1``.
+    """
+
+    def __init__(self, alpha: float, max_degree: int):
+        self.alpha = float(
+            check_in_range("alpha", alpha, ALPHA_MIN, ALPHA_MAX)
+        )
+        self.max_degree = int(check_positive("max_degree", max_degree))
+
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def _support(self) -> np.ndarray:
+        return np.arange(1, self.max_degree + 1, dtype=np.float64)
+
+    @cached_property
+    def pmf(self) -> np.ndarray:
+        """Probability of each degree ``1..D`` (Algorithm 1, line 3)."""
+        raw = self._support**-self.alpha
+        return raw / raw.sum()
+
+    @cached_property
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over the support (Algorithm 1, line 5)."""
+        cdf = np.cumsum(self.pmf)
+        # Guard against accumulated floating error at the top end; the
+        # sampler relies on cdf[-1] == 1 exactly.
+        cdf[-1] = 1.0
+        return cdf
+
+    @cached_property
+    def mean(self) -> float:
+        """First moment ``E[d]`` (Eq. 5)."""
+        return float(np.dot(self._support, self.pmf))
+
+    @cached_property
+    def variance(self) -> float:
+        """Second central moment (useful for sample-size choices in tests)."""
+        second = float(np.dot(self._support**2, self.pmf))
+        return second - self.mean**2
+
+    def prob(self, d: np.ndarray) -> np.ndarray:
+        """Pointwise probability ``P(d)`` (zero outside the support)."""
+        d = np.asarray(d)
+        out = np.zeros(d.shape, dtype=np.float64)
+        mask = (d >= 1) & (d <= self.max_degree)
+        out[mask] = self.pmf[d[mask].astype(np.int64) - 1]
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def sample_degrees(self, size: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` iid degrees (Algorithm 1, line 8).
+
+        Implemented via inverse-transform sampling on the cdf — this is the
+        ``multinomial(cdf)`` call in the paper's pseudocode — vectorised
+        with ``searchsorted``.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        rng = make_rng(seed)
+        u = rng.random(size)
+        # searchsorted(side='right') maps u in [cdf[k-1], cdf[k]) to k, which
+        # corresponds to degree k+1 over the 1-based support.
+        return np.searchsorted(self.cdf, u, side="right").astype(np.int64) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerLawDistribution(alpha={self.alpha:.4f}, "
+            f"max_degree={self.max_degree})"
+        )

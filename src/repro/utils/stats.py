@@ -1,0 +1,111 @@
+"""Statistical helpers shared by the power-law toolkit and the experiments.
+
+The paper's accuracy claims are phrased as percentage errors between
+estimated and measured Computation Capability Ratios (e.g. "*we reduce the
+heterogeneity estimation error from 108 % to 8 %*").  The error metrics here
+define those numbers once so every experiment and test reports them the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "generalized_harmonic",
+    "geometric_mean",
+    "pct_error",
+    "mean_absolute_pct_error",
+    "summarize",
+    "Summary",
+]
+
+
+def generalized_harmonic(n: int, exponent: float) -> float:
+    """Return the generalised harmonic number ``H(n, s) = sum_{i=1..n} i**-s``.
+
+    This is the normalisation constant of the truncated discrete power law
+    (Eq. 4 of the paper).  Computed with a vectorised sum; ``n`` in this
+    library is a maximum degree, at most a few million, so an explicit sum
+    is both exact and fast.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    i = np.arange(1, n + 1, dtype=np.float64)
+    return float(np.sum(i**-exponent))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (standard for speedup aggregation)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def pct_error(estimate: float, truth: float) -> float:
+    """Unsigned percentage error of an estimate against a reference value.
+
+    ``pct_error(3.0, 1.5) == 100.0``.  This matches the paper's usage: a
+    thread-count estimate of 3× against a real speedup of 1.5× is a 100 %
+    error.
+    """
+    if truth == 0:
+        raise ValueError("reference value must be non-zero")
+    return abs(estimate - truth) / abs(truth) * 100.0
+
+
+def mean_absolute_pct_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """Mean of :func:`pct_error` over paired sequences."""
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise ValueError(
+            f"estimates and truths must align, got {est.shape} vs {tru.shape}"
+        )
+    if est.size == 0:
+        raise ValueError("cannot average over zero pairs")
+    if np.any(tru == 0):
+        raise ValueError("reference values must be non-zero")
+    return float(np.mean(np.abs(est - tru) / np.abs(tru)) * 100.0)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary used in experiment reports."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Return a :class:`Summary` of the values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("summarize of an empty sequence")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,69 @@
+"""Argument-validation helpers.
+
+Centralising the checks keeps error messages consistent ("<name> must be
+positive, got <value>") and keeps the numeric kernels free of boilerplate.
+All helpers raise ``ValueError``/``TypeError`` and return the validated
+value so they compose in assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_array_1d",
+]
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, strict: bool = True) -> Number:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> Number:
+    """Validate that ``value`` lies in ``[0, 1]``."""
+    if not np.isfinite(value) or not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: Number,
+    lo: Number,
+    hi: Number,
+    inclusive: bool = True,
+) -> Number:
+    """Validate that ``value`` lies within ``[lo, hi]`` (or ``(lo, hi)``)."""
+    if inclusive:
+        ok = lo <= value <= hi
+        bounds = f"[{lo}, {hi}]"
+    else:
+        ok = lo < value < hi
+        bounds = f"({lo}, {hi})"
+    if not np.isfinite(value) or not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_array_1d(
+    name: str, arr: np.ndarray, dtype: Union[type, str, None] = None
+) -> np.ndarray:
+    """Coerce ``arr`` into a 1-D ndarray (optionally of ``dtype``)."""
+    out = np.asarray(arr, dtype=dtype)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {out.shape}")
+    return out

@@ -1,0 +1,77 @@
+"""Connected Components correctness against NetworkX and analytic cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.connected_components import ConnectedComponents
+from repro.engine.distributed_graph import DistributedGraph
+from repro.engine.sync_engine import SyncEngine
+from repro.graph.digraph import DiGraph
+from repro.partition import HybridPartitioner
+from repro.partition.base import PartitionResult
+
+
+def run_cc(graph, machines=1):
+    if machines == 1:
+        part = PartitionResult(
+            graph, np.zeros(graph.num_edges, np.int32), 1, "single", None
+        )
+    else:
+        part = HybridPartitioner(seed=3).partition(graph, machines)
+    return SyncEngine().run(ConnectedComponents(), DistributedGraph(part))
+
+
+class TestAgainstNetworkX:
+    def test_component_count(self, powerlaw_graph):
+        trace = run_cc(powerlaw_graph, machines=4)
+        nxg = powerlaw_graph.to_networkx()
+        assert trace.result["num_components"] == nx.number_weakly_connected_components(
+            nxg
+        )
+
+    def test_partition_matches_networkx(self, powerlaw_graph):
+        """Two vertices share a label iff they are weakly connected."""
+        labels = run_cc(powerlaw_graph, machines=2).result["labels"]
+        nxg = powerlaw_graph.to_networkx()
+        for comp in nx.weakly_connected_components(nxg):
+            comp = list(comp)
+            assert np.unique(labels[comp]).size == 1
+
+    def test_largest_component_size(self, powerlaw_graph):
+        trace = run_cc(powerlaw_graph, machines=2)
+        nxg = powerlaw_graph.to_networkx()
+        expected = max(len(c) for c in nx.weakly_connected_components(nxg))
+        assert trace.result["largest_component"] == expected
+
+
+class TestAnalyticCases:
+    def test_two_triangles(self, two_components_graph):
+        trace = run_cc(two_components_graph)
+        assert trace.result["num_components"] == 2
+        labels = trace.result["labels"]
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == labels[5] == 3
+
+    def test_direction_ignored(self):
+        """Weak connectivity: a directed chain is one component."""
+        g = DiGraph.from_edges([(2, 1), (1, 0), (3, 4)], num_vertices=5)
+        labels = run_cc(g).result["labels"]
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == 3
+
+    def test_isolated_vertices_are_components(self):
+        g = DiGraph.from_edges([(0, 1)], num_vertices=4)
+        trace = run_cc(g)
+        assert trace.result["num_components"] == 3
+
+    def test_label_is_component_minimum(self, ring_graph):
+        labels = run_cc(ring_graph).result["labels"]
+        assert np.all(labels == 0)
+
+    def test_chain_supersteps_scale_with_diameter(self):
+        """Label 0 needs ~n supersteps to traverse an n-chain."""
+        n = 20
+        g = DiGraph.from_edges([(i, i + 1) for i in range(n - 1)], num_vertices=n)
+        trace = run_cc(g)
+        assert n - 2 <= trace.result["supersteps"] <= n + 2

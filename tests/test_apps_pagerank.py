@@ -1,0 +1,97 @@
+"""PageRank correctness against NetworkX and analytic cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.engine.distributed_graph import DistributedGraph
+from repro.engine.sync_engine import SyncEngine
+from repro.partition import RandomHashPartitioner
+from repro.partition.base import PartitionResult
+
+
+def run_pagerank(graph, machines=1, **kwargs):
+    if machines == 1:
+        part = PartitionResult(
+            graph, np.zeros(graph.num_edges, np.int32), 1, "single", None
+        )
+    else:
+        part = RandomHashPartitioner(seed=2).partition(graph, machines)
+    return SyncEngine().run(PageRank(**kwargs), DistributedGraph(part))
+
+
+class TestAgainstNetworkX:
+    def test_powerlaw_graph(self, powerlaw_graph):
+        trace = run_pagerank(powerlaw_graph, machines=3, tolerance=1e-8)
+        ours = trace.result["normalized_ranks"]
+        nxg = powerlaw_graph.to_networkx()
+        ref = nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500)
+        ref = np.array([ref[i] for i in range(powerlaw_graph.num_vertices)])
+        np.testing.assert_allclose(ours, ref, atol=1e-7)
+
+    def test_parallel_edges_weighted(self):
+        """Parallel edges carry proportional rank, as a multigraph should."""
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges([(0, 1), (0, 1), (0, 2), (1, 0), (2, 0)],
+                               num_vertices=3)
+        trace = run_pagerank(g, tolerance=1e-10)
+        ranks = trace.result["normalized_ranks"]
+        # Vertex 1 receives twice vertex 2's inbound share from 0.
+        assert ranks[1] > ranks[2]
+
+
+class TestAnalyticCases:
+    def test_ring_is_uniform(self, ring_graph):
+        """Symmetry: every vertex of a cycle has identical rank."""
+        trace = run_pagerank(ring_graph, tolerance=1e-10)
+        ranks = trace.result["ranks"]
+        np.testing.assert_allclose(ranks, ranks[0])
+        assert ranks[0] == pytest.approx(1.0)
+
+    def test_rank_sum_is_vertex_count(self, powerlaw_graph):
+        """The unnormalised fixed point sums to |V| (no dangling nodes)."""
+        trace = run_pagerank(powerlaw_graph, tolerance=1e-9)
+        assert trace.result["ranks"].sum() == pytest.approx(
+            powerlaw_graph.num_vertices, rel=1e-6
+        )
+
+    def test_star_hub_collects_rank(self):
+        from repro.graph.digraph import DiGraph
+
+        # Leaves all point at the hub, hub points back at leaf 1.
+        edges = [(i, 0) for i in range(1, 6)] + [(0, 1)]
+        g = DiGraph.from_edges(edges, num_vertices=6)
+        ranks = run_pagerank(g, tolerance=1e-10).result["ranks"]
+        assert ranks[0] == ranks.max()
+
+    def test_damping_limits(self):
+        """d -> 0 makes all ranks equal regardless of structure."""
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)], num_vertices=3)
+        ranks = run_pagerank(g, damping=0.01, tolerance=1e-12).result["ranks"]
+        np.testing.assert_allclose(ranks, 1.0, atol=0.05)
+
+
+class TestConvergence:
+    def test_tolerance_controls_supersteps(self, powerlaw_graph):
+        loose = run_pagerank(powerlaw_graph, tolerance=1e-1)
+        tight = run_pagerank(powerlaw_graph, tolerance=1e-8)
+        assert tight.result["supersteps"] > loose.result["supersteps"]
+
+    def test_converged_flag(self, powerlaw_graph):
+        trace = run_pagerank(powerlaw_graph, tolerance=1e-6)
+        assert trace.result["converged"] is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize("damping", [0.0, 1.0, -0.5])
+    def test_damping_bounds(self, damping):
+        with pytest.raises(ValueError):
+            PageRank(damping=damping)
+
+    def test_tolerance_positive(self):
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0.0)

@@ -1,0 +1,45 @@
+"""Unit tests for repro.apps.registry."""
+
+import pytest
+
+from repro.apps.registry import APP_FACTORIES, DEFAULT_APPS, app_names, make_app
+from repro.engine.vertex_program import GraphApplication
+
+
+def test_default_apps_are_the_papers_four():
+    assert DEFAULT_APPS == (
+        "pagerank",
+        "coloring",
+        "connected_components",
+        "triangle_count",
+    )
+
+
+def test_all_registered_apps_instantiable():
+    for name in app_names():
+        app = make_app(name)
+        assert isinstance(app, GraphApplication)
+        assert app.name == name
+
+
+def test_kwargs_forwarded():
+    app = make_app("pagerank", damping=0.5)
+    assert app.damping == 0.5
+
+
+def test_unknown_app():
+    with pytest.raises(ValueError, match="unknown application"):
+        make_app("bfs")
+
+
+def test_cost_models_distinct():
+    """Application diversity (Fig. 2) requires distinct cost profiles."""
+    costs = {name: make_app(name).cost for name in app_names()}
+    intensities = {
+        n: (c.stream_bytes_per_edge_op + c.cacheable_bytes_per_edge_op)
+        / c.flops_per_edge_op
+        for n, c in costs.items()
+    }
+    # PageRank is the most memory-bound of the suite.
+    assert intensities["pagerank"] == max(intensities.values())
+    assert len(set(intensities.values())) == len(intensities)

@@ -1,0 +1,127 @@
+"""Calibration regression: pin the model against accidental drift.
+
+The machine catalog and application cost models were calibrated once
+against the paper's published scaling shapes (DESIGN.md §6).  These tests
+pin the resulting *behavioural* quantities with generous tolerances: they
+fail when a refactor accidentally changes the physics, while deliberate
+recalibration only needs the golden values refreshed here and in
+EXPERIMENTS.md.
+
+Everything runs on small proxies, so the module stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.core.profiler import ProxyProfiler
+from repro.core.proxy import ProxySet
+from repro.experiments.common import case2_machines, case3_machines
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return ProxyProfiler(proxies=ProxySet(num_vertices=12_800, seed=100))
+
+
+def ratios(profiler, machines, app):
+    cluster = Cluster(machines, perf=PerformanceModel(model_scale=SCALE))
+    report = ProxyProfiler(proxies=profiler.proxies, apps=(app,)).profile(cluster)
+    return report.pool.get(app)
+
+
+class TestC4LadderShapes:
+    """Fig. 2 / 8a golden curve properties."""
+
+    @pytest.fixture(scope="class")
+    def ladder(self, profiler):
+        machines = [get_machine(n) for n in
+                    ("c4.xlarge", "c4.2xlarge", "c4.4xlarge", "c4.8xlarge")]
+        return {
+            app: ratios(profiler, machines, app)
+            for app in ("pagerank", "coloring", "connected_components",
+                        "triangle_count")
+        }
+
+    def test_pagerank_saturates_at_top(self, ladder):
+        t = ladder["pagerank"]
+        final_step = t.ratio("c4.8xlarge") / t.ratio("c4.4xlarge")
+        assert final_step < 1.45  # threads grew 2.43x; PR gains far less
+
+    def test_pagerank_top_band(self, ladder):
+        assert 4.0 < ladder["pagerank"].ratio("c4.8xlarge") < 6.5
+
+    def test_cc_tops_pagerank(self, ladder):
+        assert (
+            ladder["connected_components"].ratio("c4.8xlarge")
+            > ladder["pagerank"].ratio("c4.8xlarge")
+        )
+
+    def test_triangle_count_scales_most(self, ladder):
+        tc = ladder["triangle_count"].ratio("c4.8xlarge")
+        assert tc == max(t.ratio("c4.8xlarge") for t in ladder.values())
+        assert 6.0 < tc < 9.5
+
+    def test_all_apps_far_below_thread_estimate(self, ladder):
+        for app, t in ladder.items():
+            assert t.ratio("c4.8xlarge") < 17.0 / 1.7, app
+
+
+class TestCategoryGaps:
+    """Fig. 8b golden values: c4 ~1.2x, r3 ~1.1x over m4."""
+
+    def test_c4_advantage(self, profiler):
+        t = ratios(
+            profiler,
+            [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+            "pagerank",
+        )
+        assert 1.1 < t.ratio("c4.2xlarge") < 1.4
+
+    def test_r3_advantage_smaller(self, profiler):
+        t = ratios(
+            profiler,
+            [get_machine("m4.2xlarge"), get_machine("r3.2xlarge")],
+            "connected_components",
+        )
+        assert 1.02 < t.ratio("r3.2xlarge") < 1.25
+
+
+class TestLocalClusterCCRs:
+    """Case 2/3 golden CCR bands (Section V-B.2/3)."""
+
+    def test_case2_band(self, profiler):
+        for app, lo, hi in (
+            ("pagerank", 2.8, 4.0),
+            ("connected_components", 2.6, 3.7),
+            ("triangle_count", 2.5, 3.6),
+            ("coloring", 2.2, 3.3),
+        ):
+            t = ratios(profiler, case2_machines(), app)
+            big = [m.name for m in case2_machines()][1]
+            assert lo < t.ratio(big) < hi, (app, t.as_dict())
+
+    def test_case3_ccrs_exceed_case2(self, profiler):
+        for app in ("pagerank", "connected_components"):
+            t2 = ratios(profiler, case2_machines(), app)
+            t3 = ratios(profiler, case3_machines(), app)
+            assert (
+                t3.ratio("xeon_l_12t") > 1.3 * t2.ratio("xeon_l_12t")
+            ), app
+
+    def test_case3_pagerank_beyond_six(self, profiler):
+        t = ratios(profiler, case3_machines(), "pagerank")
+        assert t.ratio("xeon_l_12t") > 6.0
+
+    def test_case3_triangle_count_least_affected(self, profiler):
+        """TC's CCR grows the least from Case 2 to Case 3 (paper text)."""
+        growth = {}
+        for app in ("pagerank", "connected_components", "triangle_count"):
+            t2 = ratios(profiler, case2_machines(), app)
+            t3 = ratios(profiler, case3_machines(), app)
+            growth[app] = t3.ratio("xeon_l_12t") / t2.ratio("xeon_l_12t")
+        assert growth["triangle_count"] == min(growth.values()), growth

@@ -1,0 +1,115 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestGenerate:
+    def test_synthetic_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        code = main(
+            ["generate", "--vertices", "500", "--alpha", "2.0",
+             "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "|V|=500" in capsys.readouterr().out
+
+    def test_synthetic_edge_list(self, tmp_path):
+        out = tmp_path / "g.txt"
+        assert main(["generate", "--vertices", "100", "--output", str(out)]) == 0
+        from repro.graph.io import read_edge_list
+
+        g = read_edge_list(out)
+        assert g.num_vertices == 100
+
+    def test_dataset_standin(self, tmp_path, capsys):
+        out = tmp_path / "amazon.npz"
+        code = main(
+            ["generate", "--dataset", "amazon", "--scale", "0.002",
+             "--output", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_roundtrip_through_process(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        main(["generate", "--vertices", "400", "--output", str(out)])
+        code = main(
+            ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--app", "connected_components", "--graph-file", str(out),
+             "--policy", "threads", "--scale", "0.002"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "runtime" in text and "supersteps" in text
+
+
+class TestProfile:
+    def test_prints_pool_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "pool.json"
+        code = main(
+            ["profile", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--apps", "pagerank", "--scale", "0.001", "--output", str(out)]
+        )
+        assert code == 0
+        pool = json.loads(out.read_text())
+        assert "pagerank" in pool
+        assert pool["pagerank"]["c4.xlarge"] == pytest.approx(1.0)
+        assert "CCR" in capsys.readouterr().out
+
+
+class TestProcess:
+    def test_dataset_with_ccr_policy(self, capsys):
+        code = main(
+            ["process", "--cluster", "c4.xlarge,c4.8xlarge",
+             "--app", "pagerank", "--dataset", "wiki",
+             "--policy", "ccr", "--scale", "0.001"]
+        )
+        assert code == 0
+        assert "pagerank" in capsys.readouterr().out
+
+    def test_missing_graph_source(self):
+        with pytest.raises(SystemExit, match="dataset"):
+            main(["process", "--cluster", "c4.xlarge",
+                  "--app", "pagerank", "--scale", "0.001"])
+
+    def test_bad_cluster_name(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            main(["process", "--cluster", "z9.mega", "--app", "pagerank",
+                  "--dataset", "wiki", "--scale", "0.001"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "c4.8xlarge" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        assert "experiment fig6" in capsys.readouterr().out
+
+    def test_fig2_scaled(self, capsys):
+        assert main(["experiment", "fig2", "--scale", "0.0015"]) == 0
+        out = capsys.readouterr().out
+        assert "prior_estimate" in out

@@ -1,0 +1,94 @@
+"""Unit tests for repro.cluster.catalog (Table I)."""
+
+import pytest
+
+from repro.cluster.catalog import (
+    CATALOG,
+    EC2_CATALOG,
+    LOCAL_CATALOG,
+    get_machine,
+    machine_names,
+    tiny_server,
+    xeon_large,
+    xeon_small,
+)
+from repro.errors import ClusterError
+
+
+class TestTable1Fidelity:
+    """The catalog matches the published Table I exactly."""
+
+    @pytest.mark.parametrize(
+        "name,hw,ct,cost",
+        [
+            ("c4.xlarge", 4, 2, 0.209),
+            ("c4.2xlarge", 8, 6, 0.419),
+            ("m4.2xlarge", 8, 6, 0.479),
+            ("r3.2xlarge", 8, 6, 0.665),
+            ("c4.4xlarge", 16, 14, 0.838),
+            ("c4.8xlarge", 36, 34, 1.675),
+        ],
+    )
+    def test_ec2_rows(self, name, hw, ct, cost):
+        m = EC2_CATALOG[name]
+        assert m.hw_threads == hw
+        assert m.compute_threads == ct
+        assert m.cost_per_hour == cost
+        assert m.kind == "virtual"
+
+    def test_local_servers_unpriced_physical(self):
+        for m in LOCAL_CATALOG.values():
+            assert m.cost_per_hour is None
+            assert m.kind == "physical"
+
+    def test_xeon_s_row(self):
+        m = LOCAL_CATALOG["xeon_server_s"]
+        assert m.hw_threads == 4 and m.compute_threads == 2
+
+    def test_xeon_l_row(self):
+        m = LOCAL_CATALOG["xeon_server_l"]
+        assert m.compute_threads == 12
+
+
+class TestCalibrationShape:
+    def test_bandwidth_sublinear_in_size(self):
+        """Per-thread bandwidth shrinks up the c4 ladder (saturation)."""
+        per_thread = [
+            EC2_CATALOG[n].mem_bw_gbs / EC2_CATALOG[n].hw_threads
+            for n in ("c4.xlarge", "c4.2xlarge", "c4.4xlarge", "c4.8xlarge")
+        ]
+        assert per_thread[0] > per_thread[-1]
+
+    def test_8xlarge_has_both_sockets_of_llc(self):
+        assert EC2_CATALOG["c4.8xlarge"].llc_mb > 3 * EC2_CATALOG["c4.4xlarge"].llc_mb
+
+    def test_c4_faster_clock_than_m4(self):
+        assert EC2_CATALOG["c4.2xlarge"].freq_ghz > EC2_CATALOG["m4.2xlarge"].freq_ghz
+
+
+class TestLookup:
+    def test_get_machine(self):
+        assert get_machine("c4.xlarge").name == "c4.xlarge"
+
+    def test_unknown_machine(self):
+        with pytest.raises(ClusterError, match="unknown machine"):
+            get_machine("z9.mega")
+
+    def test_machine_names_cover_catalog(self):
+        assert set(machine_names()) == set(CATALOG)
+
+
+class TestHelpers:
+    def test_xeon_small_default(self):
+        assert xeon_small().name == "xeon_server_s"
+
+    def test_xeon_large_frequency_emulated(self):
+        m = xeon_large(freq_ghz=2.0)
+        assert m.freq_ghz == 2.0
+
+    def test_tiny_server_weaker_than_source(self):
+        tiny = tiny_server()
+        s = xeon_small()
+        assert tiny.freq_ghz == 1.8
+        assert tiny.mem_bw_gbs < s.mem_bw_gbs * 0.5
+        assert tiny.hw_threads == s.hw_threads

@@ -1,0 +1,69 @@
+"""Unit tests for repro.cluster.cluster."""
+
+import pytest
+
+from repro.cluster.catalog import get_machine, xeon_small
+from repro.cluster.cluster import Cluster
+from repro.errors import ClusterError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([])
+
+    def test_immutable(self, hetero_pair):
+        with pytest.raises(AttributeError):
+            hetero_pair.machines = ()
+
+    def test_default_models_attached(self, hetero_pair):
+        assert hetero_pair.network is not None
+        assert hetero_pair.perf is not None
+
+
+class TestShapeQueries:
+    def test_num_machines(self, case1_like_cluster):
+        assert case1_like_cluster.num_machines == 4
+
+    def test_is_square(self, case1_like_cluster, hetero_pair):
+        assert case1_like_cluster.is_square
+        assert not hetero_pair.is_square
+
+    def test_is_homogeneous(self, hetero_pair):
+        assert not hetero_pair.is_homogeneous
+        homo = Cluster([get_machine("c4.xlarge")] * 3)
+        assert homo.is_homogeneous
+
+    def test_compute_threads(self, case1_like_cluster):
+        assert case1_like_cluster.compute_threads() == (6, 6, 6, 6)
+
+
+class TestGrouping:
+    def test_groups_by_type(self, case1_like_cluster):
+        groups = case1_like_cluster.groups()
+        assert groups == {"m4.2xlarge": [0, 1], "c4.2xlarge": [2, 3]}
+
+    def test_representatives_one_per_type(self, case1_like_cluster):
+        reps = case1_like_cluster.representatives()
+        assert set(reps) == {"m4.2xlarge", "c4.2xlarge"}
+
+    def test_single_type_single_group(self):
+        c = Cluster([get_machine("c4.xlarge")] * 5)
+        assert len(c.groups()) == 1
+        assert len(c.groups()["c4.xlarge"]) == 5
+
+
+class TestCost:
+    def test_hourly_cost_sums(self):
+        c = Cluster([get_machine("c4.xlarge"), get_machine("c4.2xlarge")])
+        assert c.hourly_cost() == pytest.approx(0.209 + 0.419)
+
+    def test_unpriced_machine_rejected(self):
+        c = Cluster([get_machine("c4.xlarge"), xeon_small()])
+        with pytest.raises(ClusterError, match="no price"):
+            c.hourly_cost()
+
+
+def test_repr_counts_types(case1_like_cluster):
+    assert "2x m4.2xlarge" in repr(case1_like_cluster)
+    assert "2x c4.2xlarge" in repr(case1_like_cluster)

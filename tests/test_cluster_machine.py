@@ -1,0 +1,92 @@
+"""Unit tests for repro.cluster.machine."""
+
+import pytest
+
+from repro.cluster.machine import COMM_RESERVED_THREADS, MachineSpec
+from repro.errors import ClusterError
+
+
+def make(name="m", **kw):
+    defaults = dict(hw_threads=8, freq_ghz=2.5)
+    defaults.update(kw)
+    return MachineSpec(name, **defaults)
+
+
+class TestComputeThreads:
+    def test_reserves_two_for_communication(self):
+        assert make(hw_threads=8).compute_threads == 6
+
+    def test_paper_example(self):
+        """Section III-B: 4 HW -> 2, 8 HW -> 6, i.e. a 1:3 ratio."""
+        assert make(hw_threads=4).compute_threads == 2
+        assert COMM_RESERVED_THREADS == 2
+
+    def test_floor_of_one(self):
+        assert make(hw_threads=1).compute_threads == 1
+        assert make(hw_threads=2).compute_threads == 1
+
+
+class TestValidation:
+    def test_zero_threads(self):
+        with pytest.raises(ClusterError):
+            make(hw_threads=0)
+
+    @pytest.mark.parametrize("field", ["freq_ghz", "ipc", "mem_bw_gbs", "llc_mb"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ClusterError, match=field):
+            make(**{field: 0})
+
+    def test_negative_power(self):
+        with pytest.raises(ClusterError):
+            make(idle_watts=-1)
+
+    def test_nonpositive_cost(self):
+        with pytest.raises(ClusterError):
+            make(cost_per_hour=0.0)
+
+    def test_bad_kind(self):
+        with pytest.raises(ClusterError, match="kind"):
+            make(kind="quantum")
+
+    def test_frozen(self):
+        m = make()
+        with pytest.raises(Exception):
+            m.freq_ghz = 9.9
+
+
+class TestPeakGops:
+    def test_formula(self):
+        m = make(hw_threads=8, freq_ghz=2.0, ipc=1.5)
+        assert m.peak_gops == pytest.approx(6 * 2.0 * 1.5)
+
+
+class TestScaledFrequency:
+    def test_scales_frequency_and_bandwidth(self):
+        m = make(freq_ghz=2.4, mem_bw_gbs=12.0)
+        t = m.scaled_frequency(1.2)
+        assert t.freq_ghz == 1.2
+        assert t.mem_bw_gbs == pytest.approx(6.0)
+
+    def test_explicit_bandwidth_scale(self):
+        m = make(freq_ghz=2.0, mem_bw_gbs=10.0)
+        t = m.scaled_frequency(1.0, mem_bw_scale=0.3)
+        assert t.mem_bw_gbs == pytest.approx(3.0)
+
+    def test_dynamic_power_scales(self):
+        m = make(freq_ghz=2.0, dyn_watts_per_thread=4.0)
+        assert m.scaled_frequency(1.0).dyn_watts_per_thread == pytest.approx(2.0)
+
+    def test_name_records_frequency(self):
+        assert "1.8GHz" in make(freq_ghz=2.4).scaled_frequency(1.8).name
+
+    def test_threads_unchanged(self):
+        m = make(hw_threads=8)
+        assert m.scaled_frequency(1.0).hw_threads == 8
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ClusterError):
+            make().scaled_frequency(0.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ClusterError):
+            make().scaled_frequency(1.0, mem_bw_scale=-1)

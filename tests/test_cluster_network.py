@@ -1,0 +1,55 @@
+"""Unit tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ClusterError
+
+
+class TestTransferTime:
+    def test_pure_latency(self):
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=1e-3)
+        assert net.transfer_time(0, rounds=3) == pytest.approx(3e-3)
+
+    def test_pure_bandwidth(self):
+        net = NetworkModel(bandwidth_gbs=2.0, latency_s=0.0)
+        assert net.transfer_time(2e9) == pytest.approx(1.0)
+
+    def test_combined(self):
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=1e-4)
+        assert net.transfer_time(1e9, rounds=2) == pytest.approx(1.0 + 2e-4)
+
+    def test_latency_scale(self):
+        """Scaled simulations shrink the fixed latency with the graph."""
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=1e-3)
+        assert net.transfer_time(0, rounds=1, latency_scale=0.01) == pytest.approx(
+            1e-5
+        )
+
+    def test_zero_rounds_no_latency(self):
+        net = NetworkModel(latency_s=1.0)
+        assert net.transfer_time(0, rounds=0) == 0.0
+
+    @pytest.mark.parametrize("kw", [
+        {"payload_bytes": -1},
+        {"payload_bytes": 0, "rounds": -1},
+        {"payload_bytes": 0, "latency_scale": -0.5},
+    ])
+    def test_invalid_args(self, kw):
+        with pytest.raises(ClusterError):
+            NetworkModel().transfer_time(**kw)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ClusterError):
+            NetworkModel(bandwidth_gbs=0.0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ClusterError):
+            NetworkModel(latency_s=-1.0)
+
+    def test_frozen(self):
+        net = NetworkModel()
+        with pytest.raises(Exception):
+            net.bandwidth_gbs = 5.0

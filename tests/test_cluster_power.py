@@ -1,0 +1,89 @@
+"""Unit tests for repro.cluster.power (energy accounting)."""
+
+import pytest
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.power import EnergyCounter, machine_energy
+from repro.errors import ClusterError
+
+
+def machine(**kw):
+    defaults = dict(
+        hw_threads=6, freq_ghz=2.0, idle_watts=10.0, dyn_watts_per_thread=5.0
+    )
+    defaults.update(kw)
+    return MachineSpec("pwr", **defaults)
+
+
+class TestMachineEnergy:
+    def test_idle_only(self):
+        # 10 W idle for 2 s, never busy.
+        assert machine_energy(machine(), 0.0, 2.0) == pytest.approx(20.0)
+
+    def test_busy_adds_dynamic(self):
+        # idle 10 W * 2 s + 4 threads * 5 W * 1 s busy.
+        m = machine()
+        assert machine_energy(m, 1.0, 2.0) == pytest.approx(20.0 + 20.0)
+
+    def test_thread_override(self):
+        m = machine()
+        assert machine_energy(m, 1.0, 1.0, threads=2) == pytest.approx(10 + 10)
+
+    def test_activity_scales_dynamic(self):
+        m = machine()
+        full = machine_energy(m, 1.0, 1.0, activity=1.0)
+        half = machine_energy(m, 1.0, 1.0, activity=0.5)
+        assert full - half == pytest.approx(10.0)
+
+    def test_idle_power_burns_during_barrier_wait(self):
+        """The straggler effect: same busy time, longer wall = more energy."""
+        m = machine()
+        short = machine_energy(m, 1.0, 1.0)
+        long = machine_energy(m, 1.0, 3.0)
+        assert long > short
+
+    def test_wall_shorter_than_busy_rejected(self):
+        with pytest.raises(ClusterError):
+            machine_energy(machine(), 2.0, 1.0)
+
+    def test_negative_busy_rejected(self):
+        with pytest.raises(ClusterError):
+            machine_energy(machine(), -1.0, 1.0)
+
+    def test_bad_activity(self):
+        with pytest.raises(ClusterError):
+            machine_energy(machine(), 1.0, 1.0, activity=2.0)
+
+
+class TestEnergyCounter:
+    def test_accumulates(self):
+        c = EnergyCounter()
+        c.record(machine(), 0.0, 1.0)
+        c.record(machine(), 0.0, 1.0)
+        assert c.total_joules == pytest.approx(20.0)
+
+    def test_by_machine(self):
+        c = EnergyCounter()
+        c.record(machine(), 0.0, 1.0)
+        other = MachineSpec("other", hw_threads=4, freq_ghz=2.0, idle_watts=1.0)
+        c.record(other, 0.0, 1.0)
+        by = c.by_machine()
+        assert by["pwr"] == pytest.approx(10.0)
+        assert by["other"] == pytest.approx(1.0)
+
+    def test_record_returns_joules(self):
+        c = EnergyCounter()
+        assert c.record(machine(), 0.0, 2.0) == pytest.approx(20.0)
+
+    def test_reset(self):
+        c = EnergyCounter()
+        c.record(machine(), 0.0, 1.0)
+        c.reset()
+        assert c.total_joules == 0.0
+        assert c.samples == []
+
+    def test_samples_carry_details(self):
+        c = EnergyCounter()
+        c.record(machine(), 0.5, 1.0)
+        s = c.samples[0]
+        assert s.machine == "pwr" and s.busy_seconds == 0.5 and s.wall_seconds == 1.0

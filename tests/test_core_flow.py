@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.flow (the Fig. 7b end-to-end system)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.core.estimators import ThreadCountEstimator, UniformEstimator
+from repro.core.flow import ProxyGuidedSystem
+from repro.core.profiler import ProxyProfiler
+from repro.core.estimators import ProxyCCREstimator
+from repro.core.proxy import ProxySet
+from repro.partition import GingerPartitioner
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(
+        [get_machine("c4.xlarge"), get_machine("c4.8xlarge")],
+        perf=PerformanceModel(model_scale=0.001),
+    )
+
+
+def proxy_system(cluster, **kwargs):
+    est = ProxyCCREstimator(
+        profiler=ProxyProfiler(proxies=ProxySet(num_vertices=1200, seed=31))
+    )
+    return ProxyGuidedSystem(cluster, estimator=est, **kwargs)
+
+
+class TestProcess:
+    def test_end_to_end(self, cluster, powerlaw_graph):
+        out = proxy_system(cluster).process("pagerank", powerlaw_graph)
+        assert out.report.app == "pagerank"
+        assert out.report.runtime_seconds > 0
+        assert out.report.energy_joules > 0
+
+    def test_ccr_weights_applied(self, cluster, powerlaw_graph):
+        out = proxy_system(cluster).process("connected_components", powerlaw_graph)
+        counts = out.partition.edges_per_machine()
+        # The 8xlarge receives several times the xlarge's share.
+        assert counts[1] > 2.0 * counts[0]
+
+    def test_beats_default_on_hetero_cluster(self, cluster, powerlaw_graph):
+        guided = proxy_system(cluster).process("pagerank", powerlaw_graph)
+        default = ProxyGuidedSystem(
+            cluster, estimator=UniformEstimator()
+        ).process("pagerank", powerlaw_graph)
+        assert guided.report.runtime_seconds < default.report.runtime_seconds
+
+    def test_app_instance_accepted(self, cluster, powerlaw_graph):
+        from repro.apps.pagerank import PageRank
+
+        out = proxy_system(cluster).process(PageRank(damping=0.6), powerlaw_graph)
+        assert out.report.app == "pagerank"
+
+    def test_partitioner_name_override(self, cluster, powerlaw_graph):
+        out = proxy_system(cluster).process(
+            "pagerank", powerlaw_graph, partitioner="random_hash"
+        )
+        assert out.partition.algorithm == "random_hash"
+
+    def test_partitioner_instance_override(self, cluster, powerlaw_graph):
+        out = proxy_system(cluster).process(
+            "pagerank", powerlaw_graph, partitioner=GingerPartitioner(seed=3)
+        )
+        assert out.partition.algorithm == "ginger"
+
+    def test_default_partitioner_is_hybrid(self, cluster, powerlaw_graph):
+        out = proxy_system(cluster).process("pagerank", powerlaw_graph)
+        assert out.partition.algorithm == "hybrid"
+
+    def test_estimator_pluggable(self, cluster, powerlaw_graph):
+        sys_ = ProxyGuidedSystem(cluster, estimator=ThreadCountEstimator())
+        out = sys_.process("pagerank", powerlaw_graph)
+        counts = out.partition.edges_per_machine()
+        # thread weights: 2 vs 34 -> 1:17
+        assert counts[1] > 10 * counts[0]

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.profiler (the Fig. 7a flow)."""
+
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.core.profiler import ProxyProfiler
+from repro.core.proxy import ProxySet
+from repro.errors import ProfilingError
+
+
+@pytest.fixture(scope="module")
+def small_proxies():
+    return ProxySet(num_vertices=1500, seed=50)
+
+
+@pytest.fixture(scope="module")
+def mixed_cluster():
+    return Cluster(
+        [get_machine("c4.xlarge"), get_machine("c4.xlarge"), get_machine("c4.8xlarge")],
+        perf=PerformanceModel(model_scale=0.001),
+    )
+
+
+class TestProfile:
+    def test_pool_covers_requested_apps(self, small_proxies, mixed_cluster):
+        prof = ProxyProfiler(proxies=small_proxies, apps=("pagerank", "coloring"))
+        report = prof.profile(mixed_cluster)
+        assert set(report.pool.apps()) == {"pagerank", "coloring"}
+
+    def test_one_measurement_per_group_not_per_machine(
+        self, small_proxies, mixed_cluster
+    ):
+        """Two c4.xlarge instances form one group: one profiling sample."""
+        prof = ProxyProfiler(proxies=small_proxies, apps=("pagerank",))
+        report = prof.profile(mixed_cluster)
+        machine_types = {r.machine_type for r in report.records}
+        assert machine_types == {"c4.xlarge", "c4.8xlarge"}
+        # records = proxies x groups for the one app
+        assert len(report.records) == len(small_proxies) * 2
+
+    def test_slowest_machine_anchors_at_one(self, small_proxies, mixed_cluster):
+        prof = ProxyProfiler(proxies=small_proxies, apps=("pagerank",))
+        table = prof.profile(mixed_cluster).pool.get("pagerank")
+        assert table.ratio("c4.xlarge") == pytest.approx(1.0)
+        assert table.ratio("c4.8xlarge") > 1.5
+
+    def test_ccrs_application_specific(self, small_proxies, mixed_cluster):
+        """Fig. 2's diversity: different apps measure different ratios."""
+        prof = ProxyProfiler(
+            proxies=small_proxies, apps=("pagerank", "triangle_count")
+        )
+        pool = prof.profile(mixed_cluster).pool
+        pr = pool.get("pagerank").ratio("c4.8xlarge")
+        tc = pool.get("triangle_count").ratio("c4.8xlarge")
+        assert pr != pytest.approx(tc, rel=0.02)
+
+    def test_runtimes_accessor(self, small_proxies, mixed_cluster):
+        prof = ProxyProfiler(proxies=small_proxies, apps=("pagerank",))
+        report = prof.profile(mixed_cluster)
+        times = report.runtimes("pagerank", "c4.xlarge")
+        assert len(times) == len(small_proxies)
+        assert all(t > 0 for t in times)
+
+    def test_empty_apps_rejected(self, small_proxies):
+        with pytest.raises(ProfilingError):
+            ProxyProfiler(proxies=small_proxies, apps=())
+
+
+class TestProfileGraph:
+    def test_oracle_table(self, small_proxies, mixed_cluster, powerlaw_graph):
+        prof = ProxyProfiler(proxies=small_proxies)
+        table = prof.profile_graph("pagerank", powerlaw_graph, mixed_cluster)
+        assert table.ratio("c4.xlarge") == pytest.approx(1.0)
+        assert table.ratio("c4.8xlarge") > 1.0
+
+    def test_proxy_ccr_tracks_oracle(self, small_proxies, mixed_cluster, powerlaw_graph):
+        """The paper's accuracy claim in miniature."""
+        prof = ProxyProfiler(proxies=small_proxies, apps=("pagerank",))
+        proxy = prof.profile(mixed_cluster).pool.get("pagerank")
+        oracle = prof.profile_graph("pagerank", powerlaw_graph, mixed_cluster)
+        rel_err = abs(
+            proxy.ratio("c4.8xlarge") - oracle.ratio("c4.8xlarge")
+        ) / oracle.ratio("c4.8xlarge")
+        assert rel_err < 0.15

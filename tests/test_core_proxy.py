@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.proxy (proxy-set management)."""
+
+import pytest
+
+from repro.core.proxy import DEFAULT_PROXY_ALPHAS, ProxySet
+from repro.errors import ProfilingError
+from repro.powerlaw.generator import generate_power_law_graph
+
+
+class TestDefaults:
+    def test_papers_three_alphas(self):
+        assert DEFAULT_PROXY_ALPHAS == (1.95, 2.1, 2.25)
+
+    def test_default_set_size(self):
+        assert len(ProxySet()) == 3
+
+
+class TestGraphs:
+    def test_generated_once_and_cached(self):
+        ps = ProxySet(num_vertices=500)
+        first = ps.graphs()
+        second = ps.graphs()
+        for name in ps.names:
+            assert first[name] is second[name]
+
+    def test_vertex_counts(self):
+        ps = ProxySet(num_vertices=700)
+        for g in ps.graphs().values():
+            assert g.num_vertices == 700
+
+    def test_density_ordering_follows_alpha(self):
+        """Smaller alpha -> denser proxy (Fig. 6's relationship)."""
+        ps = ProxySet(num_vertices=3000)
+        graphs = ps.graphs()
+        edges = [graphs[n].num_edges for n in ps.names]  # alphas ascending
+        assert edges[0] > edges[1] > edges[2]
+
+    def test_deterministic_by_seed(self):
+        a = ProxySet(num_vertices=400, seed=9).graphs()
+        b = ProxySet(num_vertices=400, seed=9).graphs()
+        for name in a:
+            assert a[name] == b[name]
+
+
+class TestCoverage:
+    def test_covers_natural_band(self):
+        ps = ProxySet()
+        for alpha in (1.9, 2.0, 2.2, 2.3):
+            assert ps.covers(alpha)
+
+    def test_does_not_cover_extremes(self):
+        ps = ProxySet()
+        assert not ps.covers(1.5)
+        assert not ps.covers(3.0)
+
+    def test_ensure_coverage_extends(self):
+        ps = ProxySet(num_vertices=2000)
+        sparse = generate_power_law_graph(2000, 2.9, seed=1)
+        added = ps.ensure_coverage(sparse)
+        assert added
+        assert len(ps) == 4
+        assert ps.covers(2.8)
+
+    def test_ensure_coverage_noop_when_covered(self):
+        ps = ProxySet(num_vertices=2000)
+        typical = generate_power_law_graph(2000, 2.1, seed=1)
+        assert not ps.ensure_coverage(typical)
+        assert len(ps) == 3
+
+
+class TestValidation:
+    def test_too_few_vertices(self):
+        with pytest.raises(ProfilingError):
+            ProxySet(num_vertices=1)
+
+    def test_empty_alphas(self):
+        with pytest.raises(ProfilingError):
+            ProxySet(alphas=())

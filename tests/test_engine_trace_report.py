@@ -1,0 +1,169 @@
+"""Unit tests for repro.engine.trace and repro.engine.report."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkModel
+from repro.cluster.perfmodel import PerformanceModel, WorkProfile
+from repro.engine.report import simulate_execution
+from repro.engine.trace import ExecutionTrace, MachinePhase, SuperstepTrace
+from repro.errors import EngineError
+
+
+def phase(flops=1e6, comm=0.0):
+    return MachinePhase(work=WorkProfile(flops=flops), comm_bytes=comm)
+
+
+def two_machine_cluster(slow_ghz=1.0, fast_ghz=2.0):
+    # hw_threads=6 -> 4 compute threads after the communication reserve.
+    slow = MachineSpec("slow", hw_threads=6, freq_ghz=slow_ghz,
+                       idle_watts=10, dyn_watts_per_thread=5)
+    fast = MachineSpec("fast", hw_threads=6, freq_ghz=fast_ghz,
+                       idle_watts=10, dyn_watts_per_thread=5)
+    return Cluster([slow, fast], perf=PerformanceModel(efficiency_decay=0.0))
+
+
+class TestTrace:
+    def test_append_and_counts(self):
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(), phase()]))
+        assert t.num_supersteps == 1
+
+    def test_machine_count_mismatch(self):
+        t = ExecutionTrace(app="x", num_machines=2)
+        with pytest.raises(EngineError):
+            t.append(SuperstepTrace(phases=[phase()]))
+
+    def test_total_work_aggregates(self):
+        t = ExecutionTrace(app="x", num_machines=1)
+        t.append(SuperstepTrace(phases=[phase(flops=1.0)]))
+        t.append(SuperstepTrace(phases=[phase(flops=2.0)]))
+        assert t.total_work()[0].flops == pytest.approx(3.0)
+
+    def test_total_comm_bytes(self):
+        t = ExecutionTrace(app="x", num_machines=1)
+        t.append(SuperstepTrace(phases=[phase(comm=5.0)]))
+        assert t.total_comm_bytes() == 5.0
+
+    def test_empty_superstep_rejected(self):
+        with pytest.raises(EngineError):
+            SuperstepTrace(phases=[])
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(EngineError):
+            MachinePhase(work=WorkProfile(), comm_bytes=-1)
+
+
+class TestSimulateExecution:
+    def test_barrier_is_slowest_machine(self):
+        """The superstep ends when the straggler finishes."""
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)]))
+        report = simulate_execution(t, cluster)
+        slow_busy = report.machines[0].busy_seconds
+        fast_busy = report.machines[1].busy_seconds
+        assert slow_busy > fast_busy
+        assert report.runtime_seconds == pytest.approx(slow_busy)
+
+    def test_runtime_sums_supersteps(self):
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        step = SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)])
+        t.append(step)
+        one = simulate_execution(t, cluster).runtime_seconds
+        t.append(step)
+        two = simulate_execution(t, cluster).runtime_seconds
+        assert two == pytest.approx(2 * one)
+
+    def test_idle_machine_burns_energy_at_barrier(self):
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=0)]))
+        report = simulate_execution(t, cluster)
+        fast = report.machines[1]
+        assert fast.busy_seconds == 0.0
+        assert fast.energy_joules > 0.0  # idle power over the wall time
+
+    def test_balanced_load_less_energy_than_straggler(self):
+        cluster = two_machine_cluster(slow_ghz=1.0, fast_ghz=1.0)
+        skew = ExecutionTrace(app="x", num_machines=2)
+        skew.append(SuperstepTrace(phases=[phase(flops=2e9), phase(flops=0)]))
+        balanced = ExecutionTrace(app="x", num_machines=2)
+        balanced.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)]))
+        e_skew = simulate_execution(skew, cluster).energy_joules
+        e_bal = simulate_execution(balanced, cluster).energy_joules
+        assert e_bal < e_skew
+
+    def test_comm_overlapped_with_compute(self):
+        """Communication only matters when it exceeds computation."""
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=0.0)
+        slow = MachineSpec("slow", hw_threads=3, freq_ghz=1.0)  # 1 thread
+        cluster = Cluster([slow, slow], network=net,
+                          perf=PerformanceModel(efficiency_decay=0.0))
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9, comm=1e9),
+                                        phase(flops=1e9, comm=1e9)]))
+        report = simulate_execution(t, cluster)
+        # compute = 1 s, comm = 1 s at 1 GB/s: overlap keeps wall at 1 s.
+        assert report.runtime_seconds == pytest.approx(1.0)
+
+    def test_comm_dominates_when_larger(self):
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=0.0)
+        slow = MachineSpec("slow", hw_threads=3, freq_ghz=1.0)
+        cluster = Cluster([slow, slow], network=net)
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=0, comm=3e9),
+                                        phase(flops=0, comm=3e9)]))
+        assert simulate_execution(t, cluster).runtime_seconds == pytest.approx(3.0)
+
+    def test_single_machine_skips_network(self):
+        net = NetworkModel(bandwidth_gbs=1.0, latency_s=10.0)
+        solo = Cluster([MachineSpec("m", hw_threads=3, freq_ghz=1.0)], network=net)
+        t = ExecutionTrace(app="x", num_machines=1)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9, comm=1e9)], sync_rounds=4))
+        report = simulate_execution(t, solo)
+        assert report.machines[0].comm_seconds == 0.0
+
+    def test_machine_count_mismatch(self):
+        t = ExecutionTrace(app="x", num_machines=3)
+        with pytest.raises(EngineError):
+            simulate_execution(t, two_machine_cluster())
+
+    def test_threads_override(self):
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)]))
+        full = simulate_execution(t, cluster)
+        throttled = simulate_execution(t, cluster, threads_override=[1, 1])
+        assert throttled.runtime_seconds > full.runtime_seconds
+
+    def test_threads_override_wrong_length(self):
+        t = ExecutionTrace(app="x", num_machines=2)
+        with pytest.raises(EngineError):
+            simulate_execution(t, two_machine_cluster(), threads_override=[1])
+
+    def test_straggler_name(self):
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)]))
+        assert simulate_execution(t, cluster).straggler == "slow"
+
+    def test_utilization_bounds(self):
+        cluster = two_machine_cluster()
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(SuperstepTrace(phases=[phase(flops=1e9), phase(flops=1e9)]))
+        for m in simulate_execution(t, cluster).machines:
+            assert 0.0 <= m.utilization <= 1.0
+
+    def test_cost_usd(self):
+        from repro.cluster.catalog import get_machine
+
+        cluster = Cluster([get_machine("c4.xlarge")])
+        t = ExecutionTrace(app="x", num_machines=1)
+        t.append(SuperstepTrace(phases=[phase(flops=2.9e9 * 2 * 3600)]))
+        report = simulate_execution(t, cluster)
+        # Roughly an hour of compute on 2 threads at 2.9 GHz.
+        assert report.cost_usd(cluster) == pytest.approx(0.209, rel=0.05)

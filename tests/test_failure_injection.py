@@ -1,0 +1,157 @@
+"""Failure-injection tests: every subsystem fails loudly and precisely.
+
+A downstream user's most common mistakes — mismatched sizes, wrong machine
+counts, corrupted pools, impossible parameters — must raise the library's
+typed exceptions with actionable messages, never produce silently wrong
+results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.core.ccr import CCRPool, CCRTable
+from repro.core.estimators import ProxyCCREstimator
+from repro.engine.distributed_graph import DistributedGraph
+from repro.engine.report import simulate_execution
+from repro.engine.trace import ExecutionTrace, SuperstepTrace, MachinePhase
+from repro.cluster.perfmodel import WorkProfile
+from repro.errors import (
+    EngineError,
+    PartitionError,
+    ProfilingError,
+    ReproError,
+)
+from repro.graph.digraph import DiGraph
+from repro.partition import make_partitioner
+from repro.partition.base import PartitionResult
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, ReproError) or exc is ReproError
+
+
+class TestCorruptedCCRPool:
+    def test_truncated_json(self):
+        with pytest.raises(ProfilingError, match="malformed"):
+            CCRPool.from_json('{"pagerank": {"a": 1.0')
+
+    def test_wrong_shape_json(self):
+        with pytest.raises(ProfilingError):
+            CCRPool.from_json('{"pagerank": 3}')
+
+    def test_pool_with_stale_machine_types(self):
+        """A pool from another cluster fails loudly, not silently."""
+        pool = CCRPool()
+        pool.add(CCRTable("pagerank", {"old_machine": 1.0}))
+        cluster = Cluster([get_machine("c4.xlarge")])
+        with pytest.raises(ProfilingError, match="not profiled"):
+            pool.get("pagerank").weights_for(cluster)
+
+
+class TestMismatchedShapes:
+    def test_trace_wrong_cluster_width(self, powerlaw_graph):
+        part = make_partitioner("random_hash").partition(powerlaw_graph, 2)
+        from repro.apps.pagerank import PageRank
+
+        trace = PageRank(max_supersteps=1).execute(DistributedGraph(part))
+        wrong = Cluster([get_machine("c4.xlarge")] * 3)
+        with pytest.raises(EngineError, match="machines"):
+            simulate_execution(trace, wrong)
+
+    def test_partition_weights_wrong_length(self, powerlaw_graph):
+        with pytest.raises(PartitionError, match="entries"):
+            make_partitioner("hybrid").partition(powerlaw_graph, 3, weights=[1, 2])
+
+    def test_assignment_forged_out_of_range(self, powerlaw_graph):
+        bad = np.full(powerlaw_graph.num_edges, 9, dtype=np.int32)
+        with pytest.raises(PartitionError):
+            PartitionResult(powerlaw_graph, bad, 2, "forged", None)
+
+    def test_sync_bytes_wrong_mask(self, powerlaw_graph):
+        part = make_partitioner("random_hash").partition(powerlaw_graph, 2)
+        dg = DistributedGraph(part)
+        with pytest.raises(EngineError, match="active mask"):
+            dg.sync_bytes(np.ones(10, dtype=bool), 8)
+
+
+class TestImpossibleParameters:
+    def test_grid_non_square(self, powerlaw_graph):
+        with pytest.raises(PartitionError, match="square"):
+            make_partitioner("grid").partition(powerlaw_graph, 7)
+
+    def test_estimator_profiles_unknown_app(self):
+        cluster = Cluster([get_machine("c4.xlarge")])
+        est = ProxyCCREstimator()
+        with pytest.raises(ValueError, match="unknown application"):
+            est.weights(cluster, "quantum_walk")
+
+    def test_zero_machines(self, powerlaw_graph):
+        with pytest.raises(PartitionError):
+            make_partitioner("hybrid").partition(powerlaw_graph, 0)
+
+
+class TestDegenerateGraphs:
+    def test_engine_on_empty_graph(self):
+        from repro.apps.pagerank import PageRank
+
+        g = DiGraph(4, np.empty(0, np.int64), np.empty(0, np.int64))
+        part = PartitionResult(g, np.empty(0, np.int32), 2, "x", None)
+        trace = PageRank().execute(DistributedGraph(part))
+        # No edges: converges after the first apply sweep.
+        assert trace.result["converged"] is True
+
+    def test_coloring_on_edgeless_graph(self):
+        from repro.apps.coloring import GraphColoring
+
+        g = DiGraph(5, np.empty(0, np.int64), np.empty(0, np.int64))
+        colors, rounds = GraphColoring().color(g)
+        assert np.all(colors == 0)
+        assert rounds == []
+
+    def test_triangle_count_on_two_vertices(self):
+        from repro.apps.triangle_count import TriangleCount
+
+        g = DiGraph.from_edges([(0, 1)], num_vertices=2)
+        assert TriangleCount().count_triangles(g) == 0
+
+    def test_cc_on_all_isolated(self):
+        from repro.apps.connected_components import ConnectedComponents
+        from repro.engine.sync_engine import SyncEngine
+
+        g = DiGraph(6, np.empty(0, np.int64), np.empty(0, np.int64))
+        part = PartitionResult(g, np.empty(0, np.int32), 1, "x", None)
+        trace = SyncEngine().run(ConnectedComponents(), DistributedGraph(part))
+        assert trace.result["num_components"] == 6
+
+
+class TestNumericalRobustness:
+    def test_huge_weight_skew_still_valid(self, powerlaw_graph):
+        r = make_partitioner("random_hash").partition(
+            powerlaw_graph, 2, weights=[1e-9, 1.0]
+        )
+        assert r.assignment.max() <= 1
+        # Virtually everything lands on the heavy machine.
+        assert r.edges_per_machine()[1] > 0.99 * powerlaw_graph.num_edges
+
+    def test_single_superstep_zero_work_machine(self):
+        """Machines with zero phases-work still get timed and powered."""
+        cluster = Cluster([get_machine("c4.xlarge")] * 2)
+        t = ExecutionTrace(app="x", num_machines=2)
+        t.append(
+            SuperstepTrace(
+                phases=[
+                    MachinePhase(work=WorkProfile(flops=1e6)),
+                    MachinePhase(work=WorkProfile()),
+                ]
+            )
+        )
+        report = simulate_execution(t, cluster)
+        assert report.machines[1].busy_seconds == 0.0
+        assert report.machines[1].energy_joules > 0.0

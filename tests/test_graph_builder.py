@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_single_edges():
+    g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+    assert g.num_edges == 2 and g.num_vertices == 3
+
+
+def test_bulk_chunks_concatenate_in_order():
+    b = GraphBuilder()
+    b.add_edges(np.array([0, 1]), np.array([1, 2]))
+    b.add_edges(np.array([2]), np.array([0]))
+    g = b.build()
+    assert list(zip(g.src.tolist(), g.dst.tolist())) == [(0, 1), (1, 2), (2, 0)]
+
+
+def test_fixed_vertex_count():
+    g = GraphBuilder(num_vertices=10).add_edge(0, 1).build()
+    assert g.num_vertices == 10
+
+
+def test_fixed_vertex_count_violation():
+    b = GraphBuilder(num_vertices=2)
+    with pytest.raises(GraphError, match="exceeds"):
+        b.add_edge(0, 5)
+
+
+def test_drop_self_loops():
+    b = GraphBuilder(drop_self_loops=True)
+    b.add_edges(np.array([0, 1, 2]), np.array([0, 2, 2]))
+    g = b.build()
+    assert g.num_edges == 1
+    assert (g.src[0], g.dst[0]) == (1, 2)
+
+
+def test_deduplicate():
+    b = GraphBuilder(deduplicate=True)
+    b.add_edges(np.array([0, 0, 1]), np.array([1, 1, 2]))
+    assert b.build().num_edges == 2
+
+
+def test_empty_build():
+    g = GraphBuilder().build()
+    assert g.num_vertices == 0 and g.num_edges == 0
+
+
+def test_empty_build_with_fixed_vertices():
+    g = GraphBuilder(num_vertices=4).build()
+    assert g.num_vertices == 4 and g.num_edges == 0
+
+
+def test_builder_reusable_after_build():
+    b = GraphBuilder()
+    b.add_edge(0, 1)
+    first = b.build()
+    b.add_edge(2, 3)
+    second = b.build()
+    assert first.num_edges == 1
+    assert second.num_edges == 1
+    assert (second.src[0], second.dst[0]) == (2, 3)
+
+
+def test_num_pending_edges_tracks_loop_dropping():
+    b = GraphBuilder(drop_self_loops=True)
+    b.add_edges(np.array([0, 1]), np.array([0, 2]))
+    assert b.num_pending_edges == 1
+
+
+def test_negative_endpoints_rejected():
+    with pytest.raises(GraphError):
+        GraphBuilder().add_edges(np.array([-1]), np.array([0]))
+
+
+def test_mismatched_chunk_shapes():
+    with pytest.raises(GraphError):
+        GraphBuilder().add_edges(np.array([0, 1]), np.array([1]))
+
+
+def test_negative_fixed_vertices():
+    with pytest.raises(GraphError):
+        GraphBuilder(num_vertices=-2)

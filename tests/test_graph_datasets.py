@@ -1,0 +1,95 @@
+"""Unit tests for repro.graph.datasets (Table II stand-ins)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    resolve_alpha,
+)
+
+
+class TestRegistry:
+    def test_table2_datasets_present(self):
+        for name in (
+            "amazon",
+            "citation",
+            "social_network",
+            "wiki",
+            "synthetic_one",
+            "synthetic_two",
+            "synthetic_three",
+        ):
+            assert name in DATASETS
+
+    def test_paper_counts(self):
+        assert DATASETS["amazon"].paper_vertices == 403_394
+        assert DATASETS["amazon"].paper_edges == 3_387_388
+        assert DATASETS["social_network"].paper_edges == 68_993_773
+
+    def test_kind_filter(self):
+        assert set(dataset_names("synthetic")) == {
+            "synthetic_one",
+            "synthetic_two",
+            "synthetic_three",
+        }
+        assert len(dataset_names("real")) == 4
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            dataset_names("imaginary")
+
+    def test_synthetic_alphas_published(self):
+        assert DATASETS["synthetic_one"].alpha == 1.95
+        assert DATASETS["synthetic_two"].alpha == 2.1
+        assert DATASETS["synthetic_three"].alpha == 2.25
+
+
+class TestLoadDataset:
+    def test_scaled_vertex_count(self):
+        g = load_dataset("amazon", scale=0.005)
+        assert g.num_vertices == round(403_394 * 0.005)
+
+    def test_density_tracks_paper(self):
+        g = load_dataset("citation", scale=0.01)
+        paper = DATASETS["citation"].average_degree
+        assert g.num_edges / g.num_vertices == pytest.approx(paper, rel=0.35)
+
+    def test_deterministic(self):
+        assert load_dataset("wiki", scale=0.002) == load_dataset("wiki", scale=0.002)
+
+    def test_seed_override_changes_graph(self):
+        a = load_dataset("wiki", scale=0.002)
+        b = load_dataset("wiki", scale=0.002, seed=999)
+        assert a != b
+
+    def test_no_self_loops(self):
+        g = load_dataset("amazon", scale=0.002)
+        src, dst = g.edges()
+        assert not (src == dst).any()
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            load_dataset("friendster")
+
+    @pytest.mark.parametrize("scale", [0.0, -0.5, 1.5])
+    def test_bad_scale(self, scale):
+        with pytest.raises(ValueError):
+            load_dataset("amazon", scale=scale)
+
+
+class TestResolveAlpha:
+    def test_synthetic_uses_published(self):
+        assert resolve_alpha(DATASETS["synthetic_two"]) == 2.1
+
+    def test_real_solved_in_natural_band(self):
+        alpha = resolve_alpha(DATASETS["wiki"], max_degree=20_000)
+        assert 1.8 < alpha < 2.8
+
+    def test_denser_graph_smaller_alpha(self):
+        dense = resolve_alpha(DATASETS["social_network"], max_degree=20_000)
+        sparse = resolve_alpha(DATASETS["wiki"], max_degree=20_000)
+        assert dense < sparse

@@ -1,0 +1,108 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    ring_graph,
+    star_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        g = erdos_renyi_graph(1000, 4.0, seed=1)
+        assert g.num_edges == 4000
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(500, 6.0, seed=2)
+        src, dst = g.edges()
+        assert not np.any(src == dst)
+
+    def test_deterministic(self):
+        assert erdos_renyi_graph(200, 3.0, seed=5) == erdos_renyi_graph(
+            200, 3.0, seed=5
+        )
+
+    def test_degrees_concentrated(self):
+        """Binomial degrees: no power-law hubs."""
+        g = erdos_renyi_graph(2000, 8.0, seed=3)
+        assert g.out_degrees.max() < 8 * 4
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(1, 2.0)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 0.0)
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring_graph(5)
+        assert g.num_edges == 5
+        assert np.all(g.out_degrees == 1)
+        assert np.all(g.in_degrees == 1)
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            ring_graph(1)
+
+
+class TestStar:
+    def test_outward(self):
+        g = star_graph(6)
+        assert g.out_degrees[0] == 6
+        assert np.all(g.in_degrees[1:] == 1)
+
+    def test_inward(self):
+        g = star_graph(6, inward=True)
+        assert g.in_degrees[0] == 6
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+
+
+class TestComplete:
+    def test_edge_count(self):
+        g = complete_graph(5)
+        assert g.num_edges == 5 * 4
+
+    def test_uniform_degrees(self):
+        g = complete_graph(6)
+        assert np.all(g.out_degrees == 5)
+        assert np.all(g.in_degrees == 5)
+
+
+class TestGrid:
+    def test_edge_count(self):
+        # rows*(cols-1) east + (rows-1)*cols south
+        g = grid_graph(3, 4)
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_degenerate_line(self):
+        g = grid_graph(1, 5)
+        assert g.num_edges == 4
+
+    def test_corner_degrees(self):
+        g = grid_graph(3, 3)
+        assert g.out_degrees[0] == 2   # top-left: east + south
+        assert g.out_degrees[8] == 0   # bottom-right sink
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+def test_partitioners_handle_star_skew():
+    """The extreme-skew topology stays valid under every algorithm."""
+    from repro.partition import PARTITIONERS, make_partitioner
+
+    g = star_graph(200)
+    for name in PARTITIONERS:
+        r = make_partitioner(name, seed=1).partition(g, 4)
+        assert r.edges_per_machine().sum() == 200

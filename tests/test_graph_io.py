@@ -1,0 +1,68 @@
+"""Unit tests for repro.graph.io (edge-list serialisation)."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_roundtrip(tmp_path, tiny_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(tiny_graph, path)
+    back = read_edge_list(path, num_vertices=tiny_graph.num_vertices)
+    assert back == tiny_graph
+
+
+def test_header_comments_skipped(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n# Nodes: 2 Edges: 1\n0\t1\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 1
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n\n1 2\n")
+    assert read_edge_list(path).num_edges == 2
+
+
+def test_whitespace_flexible(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0   1\n1\t2\n")
+    assert read_edge_list(path).num_edges == 2
+
+
+def test_malformed_line_reports_lineno(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n0 1 2\n")
+    with pytest.raises(GraphFormatError, match=":2:"):
+        read_edge_list(path)
+
+
+def test_non_integer_endpoint(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_edge_list(path)
+
+
+def test_cleanup_options(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n0 1\n0 1\n")
+    g = read_edge_list(path, drop_self_loops=True, deduplicate=True)
+    assert g.num_edges == 1
+
+
+def test_write_without_header(tmp_path, ring_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(ring_graph, path, header=False)
+    content = path.read_text()
+    assert not content.startswith("#")
+    assert len(content.strip().splitlines()) == ring_graph.num_edges
+
+
+def test_write_header_counts(tmp_path, ring_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(ring_graph, path)
+    header = path.read_text().splitlines()[1]
+    assert "Nodes: 8" in header and "Edges: 8" in header

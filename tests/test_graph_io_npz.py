@@ -1,0 +1,39 @@
+"""Unit tests for the binary (.npz) graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import read_npz, write_npz
+
+
+def test_roundtrip(tmp_path, powerlaw_graph):
+    path = tmp_path / "g.npz"
+    write_npz(powerlaw_graph, path)
+    assert read_npz(path) == powerlaw_graph
+
+
+def test_roundtrip_preserves_isolated_vertices(tmp_path):
+    from repro.graph.digraph import DiGraph
+
+    g = DiGraph.from_edges([(0, 1)], num_vertices=10)
+    path = tmp_path / "g.npz"
+    write_npz(g, path)
+    assert read_npz(path).num_vertices == 10
+
+
+def test_roundtrip_empty_graph(tmp_path):
+    from repro.graph.digraph import DiGraph
+
+    g = DiGraph(3, np.empty(0, np.int64), np.empty(0, np.int64))
+    path = tmp_path / "g.npz"
+    write_npz(g, path)
+    back = read_npz(path)
+    assert back.num_vertices == 3 and back.num_edges == 0
+
+
+def test_foreign_archive_rejected(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, something=np.arange(3))
+    with pytest.raises(GraphFormatError, match="not a repro graph archive"):
+        read_npz(path)

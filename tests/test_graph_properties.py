@@ -1,0 +1,75 @@
+"""Unit tests for repro.graph.properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import (
+    average_degree,
+    degree_distribution,
+    degree_histogram,
+    graph_summary,
+)
+
+
+class TestAverageDegree:
+    def test_value(self, tiny_graph):
+        assert average_degree(tiny_graph) == pytest.approx(7 / 5)
+
+    def test_empty_graph_raises(self):
+        g = DiGraph(0, np.empty(0, np.int64), np.empty(0, np.int64))
+        with pytest.raises(GraphError):
+            average_degree(g)
+
+
+class TestDegreeHistogram:
+    def test_total(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, kind="total")
+        # degrees: [5, 3, 3, 3, 0]
+        assert hist[0] == 1 and hist[3] == 3 and hist[5] == 1
+
+    def test_out(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, kind="out")
+        assert hist[4] == 1  # the hub
+
+    def test_in(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, kind="in")
+        assert hist[2] == 3
+
+    def test_bad_kind(self, tiny_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(tiny_graph, kind="sideways")
+
+    def test_sums_to_vertices(self, powerlaw_graph):
+        assert degree_histogram(powerlaw_graph).sum() == powerlaw_graph.num_vertices
+
+
+class TestDegreeDistribution:
+    def test_probabilities_sum_to_one(self, powerlaw_graph):
+        _, probs = degree_distribution(powerlaw_graph)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_zero_degree_dropped(self, tiny_graph):
+        degrees, _ = degree_distribution(tiny_graph)
+        assert 0 not in degrees
+
+    def test_no_positive_degrees_raises(self):
+        g = DiGraph(3, np.empty(0, np.int64), np.empty(0, np.int64))
+        with pytest.raises(GraphError):
+            degree_distribution(g)
+
+
+class TestGraphSummary:
+    def test_fields(self, tiny_graph):
+        s = graph_summary(tiny_graph)
+        assert s.num_vertices == 5
+        assert s.num_edges == 7
+        assert s.max_out_degree == 4
+        assert s.max_in_degree == 2
+        assert s.self_loops == 0
+        assert s.footprint_mb == pytest.approx(7 * 16 / 1e6)
+
+    def test_self_loop_count(self):
+        g = DiGraph.from_edges([(0, 0), (1, 1), (0, 1)], num_vertices=2)
+        assert graph_summary(g).self_loops == 2

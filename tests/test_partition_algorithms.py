@@ -1,0 +1,71 @@
+"""Behavioural tests shared by all five partitioning algorithms.
+
+Every algorithm must (a) assign every edge to a valid machine,
+(b) be deterministic under a fixed seed, (c) follow uniform weights to a
+rough balance, and (d) shift load according to a skewed weight vector.
+Algorithm-specific behaviour is tested in its own module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.partition import PARTITIONERS, make_partitioner
+from repro.partition.metrics import weighted_imbalance
+
+ALGORITHMS = sorted(PARTITIONERS)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+class TestCommonContract:
+    def test_every_edge_assigned_in_range(self, name, powerlaw_graph):
+        r = make_partitioner(name, seed=1).partition(powerlaw_graph, 4)
+        assert r.assignment.size == powerlaw_graph.num_edges
+        assert r.assignment.min() >= 0 and r.assignment.max() < 4
+
+    def test_deterministic(self, name, powerlaw_graph):
+        a = make_partitioner(name, seed=5).partition(powerlaw_graph, 4)
+        b = make_partitioner(name, seed=5).partition(powerlaw_graph, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_uniform_weights_rough_balance(self, name, powerlaw_graph_large):
+        r = make_partitioner(name, seed=2).partition(powerlaw_graph_large, 4)
+        assert weighted_imbalance(r) < 1.25
+
+    def test_skewed_weights_shift_load(self, name, powerlaw_graph_large):
+        part = make_partitioner(name, seed=2)
+        skew = part.partition(powerlaw_graph_large, 4, weights=[1, 1, 1, 5])
+        counts = skew.edges_per_machine()
+        # The heavy machine holds clearly more than a uniform share ...
+        assert counts[3] > 1.8 * counts[:3].mean()
+        # ... and the overall weighted balance is still respected.  Grid's
+        # constraint sets structurally cap extreme skew (the paper makes
+        # the same caveat about its heuristics), so it gets a wider band.
+        bound = 1.45 if name == "grid" else 1.3
+        assert weighted_imbalance(skew) < bound
+
+    def test_empty_graph(self, name):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph(4, np.empty(0, np.int64), np.empty(0, np.int64))
+        r = make_partitioner(name, seed=0).partition(g, 4)
+        assert r.assignment.size == 0
+
+    def test_single_machine(self, name, powerlaw_graph):
+        # A single machine is a 1x1 grid, so even Grid accepts it.
+        r = make_partitioner(name, seed=0).partition(powerlaw_graph, 1)
+        assert np.all(r.assignment == 0)
+
+
+def test_make_partitioner_unknown():
+    with pytest.raises(ValueError, match="unknown partitioner"):
+        make_partitioner("metis")
+
+
+def test_registry_has_papers_five():
+    assert set(PARTITIONERS) == {
+        "random_hash",
+        "oblivious",
+        "grid",
+        "hybrid",
+        "ginger",
+    }

@@ -1,0 +1,87 @@
+"""Unit tests for repro.partition.base."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.base import PartitionResult, Partitioner, normalize_weights
+
+
+class TestNormalizeWeights:
+    def test_none_uniform(self):
+        w = normalize_weights(None, 4)
+        assert np.allclose(w, 0.25)
+
+    def test_normalises_to_one(self):
+        w = normalize_weights([1, 2, 3], 3)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.allclose(w, [1 / 6, 2 / 6, 3 / 6])
+
+    def test_wrong_length(self):
+        with pytest.raises(PartitionError, match="entries"):
+            normalize_weights([1, 2], 3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(PartitionError):
+            normalize_weights([1, 0], 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(PartitionError):
+            normalize_weights([1, float("nan")], 2)
+
+
+class TestPartitionResult:
+    def test_edges_per_machine(self, tiny_graph):
+        assignment = np.array([0, 0, 1, 1, 1, 2, 2], dtype=np.int32)
+        r = PartitionResult(tiny_graph, assignment, 3, "test", None)
+        assert r.edges_per_machine().tolist() == [2, 3, 2]
+
+    def test_counts_include_empty_machines(self, tiny_graph):
+        assignment = np.zeros(7, dtype=np.int32)
+        r = PartitionResult(tiny_graph, assignment, 3, "test", None)
+        assert r.edges_per_machine().tolist() == [7, 0, 0]
+
+    def test_machine_edges(self, tiny_graph):
+        assignment = np.array([0, 1, 0, 1, 0, 1, 0], dtype=np.int32)
+        r = PartitionResult(tiny_graph, assignment, 2, "test", None)
+        assert r.machine_edges(1).tolist() == [1, 3, 5]
+
+    def test_machine_edges_range_check(self, tiny_graph):
+        r = PartitionResult(tiny_graph, np.zeros(7, np.int32), 2, "t", None)
+        with pytest.raises(PartitionError):
+            r.machine_edges(2)
+
+    def test_wrong_assignment_length(self, tiny_graph):
+        with pytest.raises(PartitionError, match="one entry per edge"):
+            PartitionResult(tiny_graph, np.zeros(3, np.int32), 2, "t", None)
+
+    def test_out_of_range_assignment(self, tiny_graph):
+        bad = np.full(7, 5, dtype=np.int32)
+        with pytest.raises(PartitionError):
+            PartitionResult(tiny_graph, bad, 2, "t", None)
+
+    def test_weights_normalised_on_construction(self, tiny_graph):
+        r = PartitionResult(tiny_graph, np.zeros(7, np.int32), 2, "t", [2, 2])
+        assert np.allclose(r.weights, [0.5, 0.5])
+
+
+class _ConstantPartitioner(Partitioner):
+    name = "constant"
+
+    def _assign(self, graph, num_machines, weights):
+        return np.zeros(graph.num_edges, dtype=np.int32)
+
+
+class TestPartitionerBase:
+    def test_partition_wraps_result(self, tiny_graph):
+        r = _ConstantPartitioner().partition(tiny_graph, 2)
+        assert r.algorithm == "constant"
+        assert r.num_machines == 2
+        assert r.assignment.size == tiny_graph.num_edges
+
+    def test_invalid_machine_count(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            _ConstantPartitioner().partition(tiny_graph, 0)
+
+    def test_repr_shows_seed(self):
+        assert "seed=7" in repr(_ConstantPartitioner(seed=7))

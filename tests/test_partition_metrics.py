@@ -1,0 +1,87 @@
+"""Unit tests for repro.partition.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.partition.base import PartitionResult
+from repro.partition.metrics import (
+    partition_stats,
+    replication_factor,
+    vertex_presence,
+    weighted_imbalance,
+)
+
+
+def make_result(graph, assignment, m, weights=None):
+    return PartitionResult(
+        graph, np.asarray(assignment, dtype=np.int32), m, "manual", weights
+    )
+
+
+class TestVertexPresence:
+    def test_presence_matrix(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)], num_vertices=4)
+        r = make_result(g, [0, 1], 2)
+        p = vertex_presence(r)
+        assert p[0].tolist() == [True, False]
+        assert p[1].tolist() == [True, True]  # vertex 1 on both machines
+        assert p[2].tolist() == [False, True]
+        assert p[3].tolist() == [False, False]  # isolated
+
+
+class TestReplicationFactor:
+    def test_single_machine_is_one(self, powerlaw_graph):
+        r = make_result(powerlaw_graph, np.zeros(powerlaw_graph.num_edges), 1)
+        assert replication_factor(r) == pytest.approx(1.0)
+
+    def test_split_vertex_counts_twice(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        r = make_result(g, [0, 1], 2)
+        # copies: v0=1, v1=2, v2=1 -> mean 4/3
+        assert replication_factor(r) == pytest.approx(4 / 3)
+
+    def test_isolated_vertices_excluded(self):
+        g = DiGraph.from_edges([(0, 1)], num_vertices=10)
+        r = make_result(g, [0], 2)
+        assert replication_factor(r) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        g = DiGraph(3, np.empty(0, np.int64), np.empty(0, np.int64))
+        r = make_result(g, [], 2)
+        assert replication_factor(r) == 0.0
+
+
+class TestWeightedImbalance:
+    def test_perfect_balance(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+        r = make_result(g, [0, 0, 1, 1], 2)
+        assert weighted_imbalance(r) == pytest.approx(1.0)
+
+    def test_overload_detected(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+        r = make_result(g, [0, 0, 0, 1], 2)
+        assert weighted_imbalance(r) == pytest.approx(1.5)
+
+    def test_respects_target_weights(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+        # 3:1 split against 0.75/0.25 targets is perfectly balanced.
+        r = make_result(g, [0, 0, 0, 1], 2, weights=[0.75, 0.25])
+        assert weighted_imbalance(r) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        g = DiGraph(2, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert weighted_imbalance(make_result(g, [], 2)) == 1.0
+
+
+class TestPartitionStats:
+    def test_fields(self, powerlaw_graph):
+        from repro.partition import RandomHashPartitioner
+
+        r = RandomHashPartitioner(seed=0).partition(powerlaw_graph, 4)
+        st = partition_stats(r)
+        assert st.algorithm == "random_hash"
+        assert st.num_machines == 4
+        assert sum(st.edges_per_machine) == powerlaw_graph.num_edges
+        assert st.replication_factor >= 1.0
+        assert st.weighted_imbalance >= 1.0

@@ -1,0 +1,159 @@
+"""Algorithm-specific partitioner behaviour (Section II of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.digraph import DiGraph
+from repro.partition import (
+    GingerPartitioner,
+    GridPartitioner,
+    HybridPartitioner,
+    ObliviousPartitioner,
+    RandomHashPartitioner,
+    replication_factor,
+)
+from repro.utils.rng import hash_edges, hash_to_unit
+
+
+class TestRandomHash:
+    def test_probability_follows_weights(self, powerlaw_graph_large):
+        """Fig. 4: receive probability strictly follows the weight vector."""
+        w = [0.1, 0.2, 0.3, 0.4]
+        r = RandomHashPartitioner(seed=0).partition(powerlaw_graph_large, 4, w)
+        shares = r.edges_per_machine() / powerlaw_graph_large.num_edges
+        assert np.allclose(shares, w, atol=0.02)
+
+    def test_assignment_is_pure_function_of_edge(self):
+        """Identical endpoint pairs always land on the same machine."""
+        g = DiGraph.from_edges([(0, 1), (2, 3), (0, 1)], num_vertices=4)
+        r = RandomHashPartitioner(seed=1).partition(g, 4)
+        assert r.assignment[0] == r.assignment[2]
+
+    def test_seed_changes_placement(self, powerlaw_graph):
+        a = RandomHashPartitioner(seed=0).partition(powerlaw_graph, 4)
+        b = RandomHashPartitioner(seed=1).partition(powerlaw_graph, 4)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+
+class TestOblivious:
+    def test_lower_replication_than_random(self, powerlaw_graph_large):
+        rand = RandomHashPartitioner(seed=1).partition(powerlaw_graph_large, 4)
+        obl = ObliviousPartitioner(seed=1).partition(powerlaw_graph_large, 4)
+        assert replication_factor(obl) < replication_factor(rand)
+
+    def test_chunk_size_one_is_sequential_greedy(self, tiny_graph):
+        r = ObliviousPartitioner(seed=0, chunk_size=1).partition(tiny_graph, 2)
+        assert r.assignment.size == tiny_graph.num_edges
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ObliviousPartitioner(chunk_size=0)
+
+    def test_locality_groups_shared_endpoints(self):
+        """Consecutive edges sharing endpoints co-locate when balanced."""
+        g = DiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 5)], num_vertices=8
+        )
+        r = ObliviousPartitioner(seed=0, chunk_size=1).partition(g, 2)
+        first = set(r.assignment[:3].tolist())
+        second = set(r.assignment[3:].tolist())
+        assert len(first) == 1 and len(second) == 1
+
+
+class TestGrid:
+    def test_requires_square_machine_count(self, powerlaw_graph):
+        with pytest.raises(PartitionError, match="square"):
+            GridPartitioner(seed=0).partition(powerlaw_graph, 6)
+
+    def test_nine_machines_ok(self, powerlaw_graph):
+        r = GridPartitioner(seed=0).partition(powerlaw_graph, 9)
+        assert r.assignment.max() < 9
+
+    def test_vertex_replicas_bounded_by_grid_constraint(self, powerlaw_graph_large):
+        """A vertex's replicas stay within its row+column: <= 2*sqrt(p)-1."""
+        p = 9
+        r = GridPartitioner(seed=0).partition(powerlaw_graph_large, p)
+        g = powerlaw_graph_large
+        src, dst = g.edges()
+        bound = 2 * math.isqrt(p) - 1
+        present = np.zeros((g.num_vertices, p), dtype=bool)
+        present[src, r.assignment] = True
+        present[dst, r.assignment] = True
+        assert present.sum(axis=1).max() <= bound
+
+    def test_lower_replication_than_random(self, powerlaw_graph_large):
+        rand = RandomHashPartitioner(seed=1).partition(powerlaw_graph_large, 9)
+        grid = GridPartitioner(seed=1).partition(powerlaw_graph_large, 9)
+        assert replication_factor(grid) < replication_factor(rand)
+
+
+class TestHybrid:
+    def test_low_degree_vertices_have_no_in_edge_mirrors(self, powerlaw_graph_large):
+        """Phase 1 groups all in-edges of low-degree vertices together."""
+        g = powerlaw_graph_large
+        r = HybridPartitioner(seed=3, threshold=100).partition(g, 4)
+        src, dst = g.edges()
+        low = g.in_degrees <= 100
+        for v in np.nonzero(low & (g.in_degrees > 1))[0][:50]:
+            machines = np.unique(r.assignment[dst == v])
+            assert machines.size == 1, f"vertex {v} in-edges split"
+
+    def test_high_degree_reassigned_by_source(self):
+        """In-edges of a hub follow their sources, bounding its mirrors."""
+        hub = 0
+        n = 500
+        src = np.arange(1, n, dtype=np.int64)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        g = DiGraph(n, src, dst)
+        r = HybridPartitioner(seed=1, threshold=10).partition(g, 4)
+        # With 499 in-edges and threshold 10, the hub's edges spread.
+        assert np.unique(r.assignment).size == 4
+
+    def test_threshold_controls_split(self, powerlaw_graph_large):
+        tight = HybridPartitioner(seed=1, threshold=5).partition(
+            powerlaw_graph_large, 4
+        )
+        loose = HybridPartitioner(seed=1, threshold=10_000).partition(
+            powerlaw_graph_large, 4
+        )
+        # With an unreachable threshold, phase 2 never fires: pure edge cut.
+        assert not np.array_equal(tight.assignment, loose.assignment)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HybridPartitioner(threshold=0)
+
+
+class TestGinger:
+    def test_replication_not_worse_than_hybrid(self, powerlaw_graph_large):
+        hyb = HybridPartitioner(seed=2).partition(powerlaw_graph_large, 4)
+        gin = GingerPartitioner(seed=2).partition(powerlaw_graph_large, 4)
+        assert replication_factor(gin) <= replication_factor(hyb) + 0.05
+
+    def test_low_degree_groups_move_atomically(self, powerlaw_graph_large):
+        g = powerlaw_graph_large
+        r = GingerPartitioner(seed=2, threshold=100).partition(g, 4)
+        src, dst = g.edges()
+        low = g.in_degrees <= 100
+        for v in np.nonzero(low & (g.in_degrees > 1))[0][:50]:
+            assert np.unique(r.assignment[dst == v]).size == 1
+
+    def test_balance_lambda_zero_maximises_locality(self, powerlaw_graph):
+        free = GingerPartitioner(seed=1, balance_lambda=0.0).partition(
+            powerlaw_graph, 4
+        )
+        tight = GingerPartitioner(seed=1, balance_lambda=4.0).partition(
+            powerlaw_graph, 4
+        )
+        from repro.partition.metrics import weighted_imbalance
+
+        assert weighted_imbalance(tight) <= weighted_imbalance(free) + 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GingerPartitioner(balance_lambda=-1)
+        with pytest.raises(ValueError):
+            GingerPartitioner(chunk_size=0)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.partition.weights."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.errors import PartitionError
+from repro.partition.weights import (
+    thread_count_weights,
+    uniform_weights,
+    weights_from_values,
+)
+
+
+def test_uniform(case1_like_cluster):
+    assert np.allclose(uniform_weights(case1_like_cluster), 0.25)
+
+
+def test_thread_count_same_threads_is_uniform(case1_like_cluster):
+    """The paper's Case 1: prior work sees this cluster as homogeneous."""
+    assert np.allclose(thread_count_weights(case1_like_cluster), 0.25)
+
+
+def test_thread_count_paper_example():
+    """Section III-B: 4 HW and 8 HW threads give a 1:3 ratio."""
+    c = Cluster([get_machine("c4.xlarge"), get_machine("c4.2xlarge")])
+    assert np.allclose(thread_count_weights(c), [0.25, 0.75])
+
+
+def test_thread_count_big_ladder():
+    c = Cluster([get_machine("c4.xlarge"), get_machine("c4.8xlarge")])
+    w = thread_count_weights(c)
+    assert w[1] / w[0] == pytest.approx(17.0)
+
+
+def test_weights_from_values():
+    w = weights_from_values([1.0, 3.0])
+    assert np.allclose(w, [0.25, 0.75])
+
+
+def test_weights_from_values_empty():
+    with pytest.raises(PartitionError):
+        weights_from_values([])
+
+
+def test_weights_from_values_negative():
+    with pytest.raises(PartitionError):
+        weights_from_values([1.0, -1.0])

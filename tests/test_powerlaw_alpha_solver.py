@@ -1,0 +1,65 @@
+"""Unit tests for repro.powerlaw.alpha_solver (Eq. 7 Newton solve)."""
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.powerlaw.alpha_solver import expected_degree, solve_alpha
+from repro.powerlaw.distribution import PowerLawDistribution
+
+
+class TestExpectedDegree:
+    def test_matches_distribution_mean(self):
+        assert expected_degree(2.1, 500) == pytest.approx(
+            PowerLawDistribution(2.1, 500).mean
+        )
+
+    def test_decreasing_in_alpha(self):
+        assert expected_degree(1.9, 1000) > expected_degree(2.4, 1000)
+
+    def test_increasing_in_truncation(self):
+        # Heavier tails contribute more mean with a larger cutoff.
+        assert expected_degree(2.0, 10_000) > expected_degree(2.0, 100)
+
+
+class TestSolveAlpha:
+    @pytest.mark.parametrize("alpha", [1.9, 2.1, 2.4, 3.0])
+    def test_roundtrip(self, alpha):
+        """Recover alpha from the mean it induces (the paper's use case)."""
+        d = 5000
+        target = expected_degree(alpha, d)
+        assert solve_alpha(target, d) == pytest.approx(alpha, abs=1e-6)
+
+    def test_table2_regime(self):
+        """amazon's |E|/|V| = 8.4 yields a natural-band exponent."""
+        alpha = solve_alpha(8.398, 403_393)
+        assert 1.8 < alpha < 2.1
+
+    def test_sparse_graph_higher_alpha(self):
+        assert solve_alpha(2.1, 10_000) > solve_alpha(8.4, 10_000)
+
+    def test_unreachable_low_mean(self):
+        """Truncated power laws on {1..D} cannot have mean <= 1."""
+        with pytest.raises(ConvergenceError, match="achievable"):
+            solve_alpha(0.9, 1000)
+
+    def test_unreachable_high_mean(self):
+        with pytest.raises(ConvergenceError, match="achievable"):
+            solve_alpha(1e6, 1000)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            solve_alpha(-1.0, 100)
+        with pytest.raises(ValueError):
+            solve_alpha(2.0, 0)
+
+    def test_bad_initial_guess_still_converges(self):
+        target = expected_degree(2.2, 2000)
+        assert solve_alpha(target, 2000, initial_guess=7.5) == pytest.approx(
+            2.2, abs=1e-6
+        )
+
+    def test_result_cached(self):
+        """lru_cache: identical calls return the identical float."""
+        a = solve_alpha(4.376, 9999)
+        b = solve_alpha(4.376, 9999)
+        assert a == b

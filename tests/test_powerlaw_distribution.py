@@ -1,0 +1,100 @@
+"""Unit tests for repro.powerlaw.distribution."""
+
+import numpy as np
+import pytest
+
+from repro.powerlaw.distribution import PowerLawDistribution
+
+
+class TestConstruction:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(0.1, 100)
+        with pytest.raises(ValueError):
+            PowerLawDistribution(9.0, 100)
+
+    def test_max_degree_positive(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(2.0, 0)
+
+
+class TestPmf:
+    def test_normalised(self):
+        d = PowerLawDistribution(2.1, 500)
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        d = PowerLawDistribution(2.1, 500)
+        assert np.all(np.diff(d.pmf) < 0)
+
+    def test_power_law_ratio(self):
+        """P(2d)/P(d) == 2**-alpha exactly (Eq. 3)."""
+        d = PowerLawDistribution(2.0, 1000)
+        assert d.pmf[19] / d.pmf[9] == pytest.approx((20 / 10) ** -2.0)
+
+    def test_smaller_alpha_heavier_tail(self):
+        dense = PowerLawDistribution(1.9, 1000)
+        sparse = PowerLawDistribution(2.4, 1000)
+        assert dense.pmf[-1] > sparse.pmf[-1]
+
+    def test_prob_outside_support_zero(self):
+        d = PowerLawDistribution(2.0, 10)
+        assert d.prob(np.array([0, 11])).tolist() == [0.0, 0.0]
+
+    def test_prob_matches_pmf(self):
+        d = PowerLawDistribution(2.0, 10)
+        assert d.prob(np.array([3]))[0] == pytest.approx(d.pmf[2])
+
+
+class TestCdf:
+    def test_ends_at_one(self):
+        assert PowerLawDistribution(2.2, 300).cdf[-1] == 1.0
+
+    def test_monotone(self):
+        cdf = PowerLawDistribution(2.2, 300).cdf
+        assert np.all(np.diff(cdf) >= 0)
+
+
+class TestMoments:
+    def test_mean_matches_direct_sum(self):
+        d = PowerLawDistribution(2.1, 200)
+        support = np.arange(1, 201)
+        assert d.mean == pytest.approx(float(support @ d.pmf))
+
+    def test_mean_decreases_with_alpha(self):
+        assert (
+            PowerLawDistribution(1.9, 1000).mean
+            > PowerLawDistribution(2.4, 1000).mean
+        )
+
+    def test_variance_nonnegative(self):
+        assert PowerLawDistribution(2.3, 500).variance >= 0
+
+
+class TestSampling:
+    def test_support_bounds(self):
+        d = PowerLawDistribution(2.0, 50)
+        s = d.sample_degrees(10_000, seed=1)
+        assert s.min() >= 1 and s.max() <= 50
+
+    def test_deterministic_with_seed(self):
+        d = PowerLawDistribution(2.0, 50)
+        assert np.array_equal(d.sample_degrees(100, seed=5), d.sample_degrees(100, seed=5))
+
+    def test_sample_mean_near_theoretical(self):
+        d = PowerLawDistribution(2.2, 2000)
+        s = d.sample_degrees(200_000, seed=3)
+        # Heavy-tailed, so allow a generous band.
+        assert s.mean() == pytest.approx(d.mean, rel=0.1)
+
+    def test_degree_one_most_common(self):
+        d = PowerLawDistribution(2.2, 100)
+        s = d.sample_degrees(10_000, seed=2)
+        assert np.bincount(s).argmax() == 1
+
+    def test_zero_size(self):
+        assert PowerLawDistribution(2.0, 10).sample_degrees(0).size == 0
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(2.0, 10).sample_degrees(-1)

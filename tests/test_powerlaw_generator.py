@@ -1,0 +1,108 @@
+"""Unit tests for repro.powerlaw.generator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.powerlaw.distribution import PowerLawDistribution
+from repro.powerlaw.generator import (
+    SyntheticGraphSpec,
+    generate_from_spec,
+    generate_power_law_graph,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_power_law_graph(500, 2.1, seed=3)
+        b = generate_power_law_graph(500, 2.1, seed=3)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = generate_power_law_graph(500, 2.1, seed=3)
+        b = generate_power_law_graph(500, 2.1, seed=4)
+        assert a != b
+
+    def test_no_self_loops_by_default(self, powerlaw_graph):
+        src, dst = powerlaw_graph.edges()
+        assert not np.any(src == dst)
+
+    def test_self_loops_allowed_when_requested(self):
+        g = generate_power_law_graph(200, 1.6, allow_self_loops=True, seed=0)
+        src, dst = g.edges()
+        # With hash targets, some self loops occur at this density.
+        assert np.any(src == dst)
+
+    def test_every_vertex_has_out_edge(self, powerlaw_graph):
+        """Algorithm 1 draws degree >= 1 for every vertex."""
+        assert powerlaw_graph.out_degrees.min() >= 1
+
+    def test_degree_sequence_matches_distribution_draw(self):
+        """Out-degrees equal the cdf draw exactly (rejection redirects)."""
+        n, alpha, seed = 800, 2.0, 11
+        g = generate_power_law_graph(n, alpha, seed=seed)
+        rng = np.random.default_rng(seed)
+        degree_seed = int(rng.integers(0, 2**62))
+        expected = PowerLawDistribution(alpha, n - 1).sample_degrees(
+            n, seed=degree_seed
+        )
+        assert np.array_equal(g.out_degrees, expected)
+
+    def test_average_degree_tracks_alpha(self):
+        dense = generate_power_law_graph(3000, 1.9, seed=1)
+        sparse = generate_power_law_graph(3000, 2.4, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_mean_close_to_theoretical(self):
+        n, alpha = 5000, 2.1
+        g = generate_power_law_graph(n, alpha, seed=5)
+        theory = PowerLawDistribution(alpha, n - 1).mean
+        assert g.num_edges / n == pytest.approx(theory, rel=0.25)
+
+    def test_max_degree_cap_respected(self):
+        g = generate_power_law_graph(2000, 1.8, max_degree=10, seed=2)
+        assert g.out_degrees.max() <= 10
+
+    def test_targets_spread(self):
+        """Neighbour hashing spreads edges over many targets."""
+        g = generate_power_law_graph(1000, 2.0, seed=9)
+        assert np.count_nonzero(g.in_degrees) > 400
+
+
+class TestEdgeCases:
+    def test_single_vertex_no_loops_rejected(self):
+        with pytest.raises(GraphError):
+            generate_power_law_graph(1, 2.0)
+
+    def test_single_vertex_with_loops(self):
+        g = generate_power_law_graph(1, 2.0, allow_self_loops=True, seed=0)
+        assert g.num_vertices == 1 and g.num_edges >= 1
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            generate_power_law_graph(0, 2.0)
+
+    def test_two_vertices(self):
+        g = generate_power_law_graph(2, 2.0, seed=0)
+        src, dst = g.edges()
+        assert np.all(src != dst)
+
+
+class TestSpec:
+    def test_resolved_max_degree_default(self):
+        spec = SyntheticGraphSpec("p", 100, 2.0)
+        assert spec.resolved_max_degree() == 99
+
+    def test_resolved_max_degree_explicit(self):
+        spec = SyntheticGraphSpec("p", 100, 2.0, max_degree=10)
+        assert spec.resolved_max_degree() == 10
+
+    def test_generate_from_spec_matches_direct(self):
+        spec = SyntheticGraphSpec("p", 300, 2.2, seed=8)
+        assert generate_from_spec(spec) == generate_power_law_graph(
+            300, 2.2, seed=8
+        )
+
+    def test_distribution_factory(self):
+        spec = SyntheticGraphSpec("p", 100, 2.0)
+        assert spec.distribution().alpha == 2.0

@@ -1,0 +1,63 @@
+"""Unit tests for repro.powerlaw.validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.powerlaw.generator import generate_power_law_graph
+from repro.powerlaw.validation import (
+    fit_alpha_from_graph,
+    loglog_slope,
+    validate_power_law,
+)
+
+
+class TestFitAlphaFromGraph:
+    @pytest.mark.parametrize("alpha", [1.95, 2.1, 2.3])
+    def test_recovers_generator_alpha(self, alpha):
+        g = generate_power_law_graph(8000, alpha, seed=13)
+        assert fit_alpha_from_graph(g) == pytest.approx(alpha, abs=0.12)
+
+    def test_denser_graph_lower_alpha(self):
+        dense = generate_power_law_graph(4000, 1.9, seed=1)
+        sparse = generate_power_law_graph(4000, 2.4, seed=1)
+        assert fit_alpha_from_graph(dense) < fit_alpha_from_graph(sparse)
+
+
+class TestLoglogSlope:
+    def test_negative_slope_on_power_law(self, powerlaw_graph):
+        slope, r2 = loglog_slope(powerlaw_graph)
+        assert slope < -0.5
+        assert r2 > 0.9
+
+    def test_ccdf_exponent_relation(self):
+        g = generate_power_law_graph(10_000, 2.1, seed=21)
+        slope, _ = loglog_slope(g)
+        assert 1.0 - slope == pytest.approx(2.1, abs=0.25)
+
+    def test_too_few_degrees_raises(self):
+        g = DiGraph.from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(GraphError, match="three distinct"):
+            loglog_slope(g)
+
+
+class TestValidatePowerLaw:
+    def test_estimators_consistent_on_generated(self):
+        g = generate_power_law_graph(8000, 2.1, seed=4)
+        fit = validate_power_law(g)
+        assert fit.consistent()
+        assert fit.r_squared > 0.95
+
+    def test_fields(self, powerlaw_graph):
+        fit = validate_power_law(powerlaw_graph)
+        assert fit.average_degree == pytest.approx(
+            powerlaw_graph.num_edges / powerlaw_graph.num_vertices
+        )
+        assert fit.alpha_moment > 1.0
+        assert fit.alpha_slope > 1.0
+
+    def test_consistent_tolerance(self):
+        g = generate_power_law_graph(5000, 2.0, seed=2)
+        fit = validate_power_law(g)
+        assert fit.consistent(tol=1.0)
+        assert not fit.consistent(tol=0.0)

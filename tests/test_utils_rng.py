@@ -1,0 +1,104 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import hash_edges, hash_to_unit, make_rng, mix64, spawn_rngs
+
+
+class TestMix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.int64)
+        assert np.array_equal(mix64(x, seed=3), mix64(x, seed=3))
+
+    def test_seed_changes_output(self):
+        x = np.arange(100, dtype=np.int64)
+        assert not np.array_equal(mix64(x, seed=0), mix64(x, seed=1))
+
+    def test_bijective_on_distinct_inputs(self):
+        x = np.arange(10_000, dtype=np.int64)
+        assert np.unique(mix64(x)).size == x.size
+
+    def test_output_dtype_uint64(self):
+        assert mix64(np.array([1, 2, 3])).dtype == np.uint64
+
+    def test_preserves_shape(self):
+        x = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert mix64(x).shape == (3, 4)
+
+    def test_input_not_mutated(self):
+        x = np.arange(10, dtype=np.int64)
+        before = x.copy()
+        mix64(x)
+        assert np.array_equal(x, before)
+
+    def test_avalanche(self):
+        """Flipping one input bit flips roughly half the output bits."""
+        a = mix64(np.array([0], dtype=np.int64))[0]
+        b = mix64(np.array([1], dtype=np.int64))[0]
+        flipped = bin(int(a) ^ int(b)).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestHashEdges:
+    def test_asymmetric(self):
+        u = np.array([1], dtype=np.int64)
+        v = np.array([2], dtype=np.int64)
+        assert hash_edges(u, v)[0] != hash_edges(v, u)[0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            hash_edges(np.arange(3), np.arange(4))
+
+    def test_deterministic(self):
+        u = np.arange(50, dtype=np.int64)
+        v = (u * 7 + 3) % 50
+        assert np.array_equal(hash_edges(u, v, seed=9), hash_edges(u, v, seed=9))
+
+    def test_distinct_edges_rarely_collide(self):
+        u = np.repeat(np.arange(100, dtype=np.int64), 100)
+        v = np.tile(np.arange(100, dtype=np.int64), 100)
+        h = hash_edges(u, v)
+        assert np.unique(h).size == h.size
+
+
+class TestHashToUnit:
+    def test_range(self):
+        h = mix64(np.arange(10_000, dtype=np.int64))
+        u = hash_to_unit(h)
+        assert np.all(u >= 0.0) and np.all(u < 1.0)
+
+    def test_approximately_uniform(self):
+        u = hash_to_unit(mix64(np.arange(100_000, dtype=np.int64)))
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.min() > 9_000 and hist.max() < 11_000
+
+
+class TestMakeRng:
+    def test_int_seed_reproducible(self):
+        assert make_rng(5).integers(1 << 30) == make_rng(5).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_reproducible(self):
+        x = [g.integers(1 << 30) for g in spawn_rngs(3, 4)]
+        y = [g.integers(1 << 30) for g in spawn_rngs(3, 4)]
+        assert x == y
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    generalized_harmonic,
+    geometric_mean,
+    mean_absolute_pct_error,
+    pct_error,
+    summarize,
+)
+
+
+class TestGeneralizedHarmonic:
+    def test_s_zero_counts(self):
+        assert generalized_harmonic(10, 0.0) == pytest.approx(10.0)
+
+    def test_s_one_matches_harmonic_series(self):
+        assert generalized_harmonic(4, 1.0) == pytest.approx(1 + 1 / 2 + 1 / 3 + 1 / 4)
+
+    def test_n_one(self):
+        assert generalized_harmonic(1, 2.5) == pytest.approx(1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generalized_harmonic(0, 2.0)
+
+    def test_decreasing_in_exponent(self):
+        assert generalized_harmonic(100, 2.5) < generalized_harmonic(100, 1.5)
+
+
+class TestGeometricMean:
+    def test_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPctError:
+    def test_paper_example(self):
+        """A 3x estimate against a 1.5x truth is a 100 % error."""
+        assert pct_error(3.0, 1.5) == pytest.approx(100.0)
+
+    def test_symmetric_in_magnitude(self):
+        assert pct_error(0.5, 1.0) == pytest.approx(50.0)
+
+    def test_exact(self):
+        assert pct_error(2.0, 2.0) == 0.0
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            pct_error(1.0, 0.0)
+
+
+class TestMeanAbsolutePctError:
+    def test_matches_manual(self):
+        got = mean_absolute_pct_error([2.0, 3.0], [1.0, 2.0])
+        assert got == pytest.approx((100.0 + 50.0) / 2)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mean_absolute_pct_error([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_absolute_pct_error([], [])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_as_dict(self):
+        d = summarize([5.0]).as_dict()
+        assert d["count"] == 1 and d["mean"] == 5.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,42 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_basic_layout():
+    out = format_table(["a", "b"], [[1, 2], [30, 40]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "-" in lines[1]
+    assert lines[2].split() == ["1", "2"]
+    assert lines[3].split() == ["30", "40"]
+
+
+def test_title_first_line():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[1.23456]], float_fmt=".2f")
+    assert "1.23" in out and "1.2345" not in out
+
+
+def test_column_alignment():
+    out = format_table(["name", "n"], [["long-name", 1], ["x", 22]])
+    data_lines = out.splitlines()[2:]
+    # 'n' values start at the same column in every row.
+    idx = [line.index(str(v)) for line, v in zip(data_lines, ("1", "22"))]
+    assert idx[0] == idx[1]
+
+
+def test_wrong_row_width_raises():
+    with pytest.raises(ValueError, match="columns"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a"], [])
+    assert len(out.splitlines()) == 2
