@@ -1,0 +1,132 @@
+"""Resilience benchmarks: what faults cost, and what the supervisor buys.
+
+Not a figure of the paper — the paper assumes a fault-free cluster.  These
+benches quantify the resilient runtime added on top of it:
+
+* recovery overhead vs crash count: each crash replays at most one
+  checkpoint interval, so the overhead curve is monotone in the number of
+  crashes and bounded by the checkpoint/restart policy;
+* degradation-aware re-balancing: a mid-run 4x slowdown on one machine
+  turns the proxy-weighted partition into the wrong partition; the
+  supervisor detects the straggler, discounts its weight, and the spliced
+  re-partitioned run beats riding out the fault on the stale partition.
+"""
+
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.apps import make_app
+from repro.cluster.perfmodel import PerformanceModel
+from repro.engine.resilient import ResilientRuntime, simulate_resilient_execution
+from repro.engine.runtime import GraphProcessingSystem
+from repro.faults.checkpoint import CheckpointPolicy
+from repro.faults.schedule import CrashFault, FaultSchedule, SlowdownFault
+from repro.graph.datasets import load_dataset
+from repro.partition import make_partitioner
+from repro.partition.weights import uniform_weights
+from repro.utils.tables import format_table
+
+from conftest import emit
+
+# Resilience scenarios re-run the priced execution many times (replays,
+# rebalance splices), so they use a smaller scale than the figure benches.
+SCALE = 0.002
+
+
+def _cluster():
+    return Cluster(
+        [get_machine("m4.2xlarge")] * 2 + [get_machine("c4.2xlarge")] * 2,
+        perf=PerformanceModel(model_scale=SCALE),
+    )
+
+
+def test_bench_recovery_overhead_vs_crashes(benchmark):
+    """Recovery overhead grows monotonically with the number of crashes."""
+    cluster = _cluster()
+    graph = load_dataset("wiki", scale=SCALE)
+    base = GraphProcessingSystem(cluster).run(
+        make_app("pagerank"), graph, make_partitioner("hybrid"),
+        weights=uniform_weights(cluster),
+    )
+    ckpt = CheckpointPolicy(interval=5)
+
+    def crashes(n):
+        return FaultSchedule(
+            crashes=tuple(
+                CrashFault(superstep=3 + 7 * k, machine=k % cluster.num_machines)
+                for k in range(n)
+            ),
+            seed=17,
+        )
+
+    def run():
+        overheads = []
+        for n in (0, 1, 2, 4):
+            report = simulate_resilient_execution(
+                base.trace, cluster, schedule=crashes(n), checkpoint=ckpt
+            )
+            overheads.append(
+                (n, report.runtime_seconds - base.report.runtime_seconds)
+            )
+        return overheads
+
+    overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            headers=("crashes", "recovery overhead (ms)"),
+            rows=[(n, f"{o * 1e3:.3f}") for n, o in overheads],
+            title="Recovery overhead vs crash count (pagerank/wiki, "
+                  f"checkpoint every {ckpt.interval})",
+        )
+    )
+    assert overheads[0][1] == 0.0
+    for (_, lo), (_, hi) in zip(overheads, overheads[1:]):
+        assert hi > lo
+
+
+def test_bench_supervisor_rebalance_beats_riding_it_out(benchmark):
+    """Mid-run 4x slowdown: re-balancing beats the stale partition."""
+    cluster = _cluster()
+    graph = load_dataset("wiki", scale=SCALE)
+    schedule = FaultSchedule(
+        slowdowns=(SlowdownFault(superstep=4, machine=0, factor=4.0,
+                                 duration=None),),
+        seed=5,
+    )
+    # No checkpoint tax: isolate the pure load-balancing effect.
+    ckpt = CheckpointPolicy(interval=0, restart_seconds=0.0)
+
+    def run():
+        results = {}
+        for rebalance in (False, True):
+            outcome = ResilientRuntime(
+                cluster, partitioner="hybrid", schedule=schedule,
+                checkpoint=ckpt, rebalance=rebalance,
+            ).run("pagerank", graph)
+            results[rebalance] = outcome.report
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    ride, rebal = results[False], results[True]
+    speedup = ride.runtime_seconds / rebal.runtime_seconds
+    emit(
+        format_table(
+            headers=("strategy", "runtime (ms)", "energy (J)"),
+            rows=[
+                ("ride it out", f"{ride.runtime_seconds * 1e3:.3f}",
+                 f"{ride.energy_joules:.2f}"),
+                (
+                    "supervisor re-balance "
+                    f"(at superstep {rebal.recovery.rebalance_superstep})",
+                    f"{rebal.runtime_seconds * 1e3:.3f}",
+                    f"{rebal.energy_joules:.2f}",
+                ),
+            ],
+            title="Mid-run 4x slowdown on machine 0 "
+                  f"(pagerank/wiki, speedup {speedup:.2f}x)",
+        )
+    )
+    assert rebal.recovery.rebalanced
+    assert rebal.runtime_seconds < ride.runtime_seconds
+    assert speedup > 1.2

@@ -31,10 +31,12 @@ from repro.errors import (
     ClusterError,
     ConvergenceError,
     EngineError,
+    FaultError,
     GraphError,
     GraphFormatError,
     PartitionError,
     ProfilingError,
+    RecoveryError,
     ReproError,
 )
 from repro.graph import DiGraph, GraphBuilder, load_dataset, dataset_names
@@ -62,7 +64,19 @@ from repro.engine import (
     DistributedGraph,
     ExecutionReport,
     GraphProcessingSystem,
+    ResilientExecutionReport,
+    ResilientRuntime,
     simulate_execution,
+    simulate_resilient_execution,
+)
+from repro.faults import (
+    CheckpointPolicy,
+    CrashFault,
+    FaultSchedule,
+    NetworkFault,
+    RetryPolicy,
+    SlowdownFault,
+    Supervisor,
 )
 from repro.apps import DEFAULT_APPS, make_app
 from repro.core import (
@@ -90,6 +104,8 @@ __all__ = [
     "ProfilingError",
     "EngineError",
     "ConvergenceError",
+    "FaultError",
+    "RecoveryError",
     # graph
     "DiGraph",
     "GraphBuilder",
@@ -116,7 +132,18 @@ __all__ = [
     "DistributedGraph",
     "ExecutionReport",
     "GraphProcessingSystem",
+    "ResilientExecutionReport",
+    "ResilientRuntime",
     "simulate_execution",
+    "simulate_resilient_execution",
+    # faults
+    "CrashFault",
+    "SlowdownFault",
+    "NetworkFault",
+    "FaultSchedule",
+    "CheckpointPolicy",
+    "RetryPolicy",
+    "Supervisor",
     # apps
     "DEFAULT_APPS",
     "make_app",

@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's main entry points without writing code:
+Five commands cover the library's main entry points without writing code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
 * ``profile``   — run proxy profiling for a cluster and print/persist the
   CCR pool (the one-time offline step of Fig. 7a).
 * ``process``   — the Fig. 7b flow: run an application on a graph over a
-  described cluster, under a chosen capability policy.
+  described cluster, under a chosen capability policy.  With
+  ``--fault-schedule`` the run is priced through the resilient runtime:
+  crashes recover from checkpoints, persistent stragglers trigger a
+  mid-run re-balance.
+* ``faults``    — sample a deterministic fault scenario from seeded rates
+  and save/inspect it for replay with ``process --fault-schedule``.
 * ``experiment``— regenerate one of the paper's tables/figures.
 
 Clusters are described as comma-separated machine type names from the
@@ -28,6 +33,60 @@ __all__ = ["main", "build_parser"]
 # --------------------------------------------------------------------- #
 # Helpers
 # --------------------------------------------------------------------- #
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    value = _nonnegative_float(text)
+    if value > 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def _model_scale(text: str) -> float:
+    """argparse type: graph scale in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"scale must be in (0, 1], got {value}"
+        )
+    return value
+
+
+def _alpha(text: str) -> float:
+    """argparse type: power-law exponent, must exceed 1."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"alpha must be > 1 for a normalisable power law, got {value}"
+        )
+    return value
 
 
 def _build_cluster(spec: str, scale: float):
@@ -142,13 +201,43 @@ def cmd_profile(args) -> int:
 
 def cmd_process(args) -> int:
     from repro.core.flow import ProxyGuidedSystem
+    from repro.engine.resilient import ResilientRuntime
+    from repro.errors import RecoveryError
+    from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+    from repro.faults.schedule import FaultSchedule
 
     cluster = _build_cluster(args.cluster, args.scale)
     graph = _load_graph(args)
     estimator = _make_estimator(args.policy, args.scale)
-    system = ProxyGuidedSystem(cluster, estimator=estimator)
-    outcome = system.process(args.app, graph, partitioner=args.partitioner)
+
+    if args.fault_schedule:
+        schedule = FaultSchedule.load(args.fault_schedule)
+        runtime = ResilientRuntime(
+            cluster,
+            estimator=estimator,
+            partitioner=args.partitioner,
+            schedule=schedule,
+            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+            retry=RetryPolicy(max_retries=args.max_retries),
+            rebalance=not args.no_rebalance,
+        )
+        try:
+            outcome = runtime.run(args.app, graph)
+        except RecoveryError as exc:
+            print(f"run FAILED: {exc}")
+            return 1
+    else:
+        system = ProxyGuidedSystem(cluster, estimator=estimator)
+        outcome = system.process(args.app, graph, partitioner=args.partitioner)
     report = outcome.report
+
+    if args.strict and report.result.get("converged") is False:
+        from repro.errors import ConvergenceError
+
+        raise ConvergenceError(
+            f"{report.app} did not converge within "
+            f"{report.num_supersteps} supersteps"
+        )
 
     print(f"application : {report.app}")
     print(f"cluster     : {cluster!r}")
@@ -164,6 +253,52 @@ def cmd_process(args) -> int:
             f"  {m.machine}: busy {m.busy_seconds * 1e3:.3f} ms, "
             f"utilisation {m.utilization * 100:.0f}%"
         )
+    recovery = getattr(report, "recovery", None)
+    if recovery is not None:
+        print(
+            f"resilience  : {recovery.num_crashes} crash(es), "
+            f"{recovery.replayed_supersteps} superstep(s) replayed, "
+            f"{recovery.num_checkpoints} checkpoint(s), "
+            f"recovery overhead {recovery.recovery_seconds * 1e3:.3f} ms"
+        )
+        if recovery.rebalanced:
+            print(
+                f"rebalance   : at superstep {recovery.rebalance_superstep} "
+                f"(migration {recovery.migration_seconds * 1e3:.3f} ms)"
+            )
+    for warning in report.warnings:
+        print(f"warning     : {warning}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.faults.schedule import FaultSchedule
+    from repro.utils.tables import format_table
+
+    schedule = FaultSchedule.generate(
+        num_machines=args.machines,
+        num_supersteps=args.supersteps,
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        slowdown_rate=args.slowdown_rate,
+        slowdown_factor=args.slowdown_factor,
+        slowdown_duration=args.slowdown_duration,
+        network_rate=args.network_rate,
+    )
+    print(
+        format_table(
+            headers=("kind", "superstep", "detail"),
+            rows=[(k, s, d) for k, s, d in schedule.describe()],
+            title=(
+                f"fault schedule: {schedule.num_events} event(s) over "
+                f"{args.supersteps} supersteps on {args.machines} machines "
+                f"(seed {args.seed})"
+            ),
+        )
+    )
+    if args.output:
+        schedule.save(args.output)
+        print(f"schedule saved to {args.output}")
     return 0
 
 
@@ -215,10 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="generate a graph and write it")
     gen.add_argument("--dataset", help="Table II dataset name")
-    gen.add_argument("--vertices", type=int, default=10_000)
-    gen.add_argument("--alpha", type=float, default=2.1)
+    gen.add_argument("--vertices", type=_positive_int, default=10_000)
+    gen.add_argument("--alpha", type=_alpha, default=2.1)
     gen.add_argument("--seed", type=int, default=0)
-    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--scale", type=_model_scale, default=0.01)
     gen.add_argument("--output", required=True, help=".npz or edge-list path")
     gen.set_defaults(func=cmd_generate)
 
@@ -226,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--cluster", required=True,
                       help="comma-separated machine types")
     prof.add_argument("--apps", help="comma-separated app names (default all)")
-    prof.add_argument("--scale", type=float, default=0.01)
+    prof.add_argument("--scale", type=_model_scale, default=0.01)
     prof.add_argument("--seed", type=int, default=100)
     prof.add_argument("--output", help="write the CCR pool JSON here")
     prof.set_defaults(func=cmd_profile)
@@ -239,12 +374,44 @@ def build_parser() -> argparse.ArgumentParser:
     proc.add_argument("--policy", default="ccr",
                       choices=("default", "threads", "ccr", "oracle"))
     proc.add_argument("--partitioner", default="hybrid")
-    proc.add_argument("--scale", type=float, default=0.01)
+    proc.add_argument("--scale", type=_model_scale, default=0.01)
+    proc.add_argument("--strict", action="store_true",
+                      help="raise ConvergenceError if the superstep budget "
+                      "is exhausted without convergence")
+    proc.add_argument("--fault-schedule",
+                      help="JSON fault scenario to inject (see the "
+                      "`faults` command); prices the run through the "
+                      "resilient runtime")
+    proc.add_argument("--checkpoint-interval", type=int, default=10,
+                      help="supersteps between checkpoints under faults "
+                      "(0 disables)")
+    proc.add_argument("--max-retries", type=_positive_int, default=3,
+                      help="restarts tolerated per crash site")
+    proc.add_argument("--no-rebalance", action="store_true",
+                      help="disable supervisor-triggered mid-run "
+                      "re-partitioning")
     proc.set_defaults(func=cmd_process)
+
+    flt = sub.add_parser(
+        "faults", help="sample a deterministic fault scenario"
+    )
+    flt.add_argument("--machines", type=_positive_int, required=True)
+    flt.add_argument("--supersteps", type=_positive_int, default=50)
+    flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument("--crash-rate", type=_rate, default=0.0,
+                     help="per-machine per-superstep crash probability")
+    flt.add_argument("--slowdown-rate", type=_rate, default=0.0,
+                     help="per-machine per-superstep slowdown probability")
+    flt.add_argument("--slowdown-factor", type=_nonnegative_float, default=4.0)
+    flt.add_argument("--slowdown-duration", type=_positive_int, default=5)
+    flt.add_argument("--network-rate", type=_rate, default=0.0,
+                     help="per-superstep network degradation probability")
+    flt.add_argument("--output", help="write the schedule JSON here")
+    flt.set_defaults(func=cmd_faults)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
-    exp.add_argument("--scale", type=float, default=0.01)
+    exp.add_argument("--scale", type=_model_scale, default=0.01)
     exp.set_defaults(func=cmd_experiment)
 
     return parser

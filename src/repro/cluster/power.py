@@ -16,7 +16,7 @@ for it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster.machine import MachineSpec
 from repro.errors import ClusterError
@@ -62,12 +62,19 @@ def machine_energy(
 
 @dataclass
 class EnergySample:
-    """One integration window for one machine."""
+    """One integration window for one machine.
+
+    ``slot`` is the cluster slot the window belongs to (``None`` when the
+    caller integrates outside a slotted execution); attribution by slot
+    must not rely on sample ordering, because recovery replays and
+    checkpoint windows record extra samples per superstep.
+    """
 
     machine: str
     busy_seconds: float
     wall_seconds: float
     joules: float
+    slot: Optional[int] = None
 
 
 @dataclass
@@ -88,11 +95,12 @@ class EnergyCounter:
         wall_seconds: float,
         threads: int = None,
         activity: float = 1.0,
+        slot: Optional[int] = None,
     ) -> float:
         """Integrate one window and return its energy in joules."""
         joules = machine_energy(machine, busy_seconds, wall_seconds, threads, activity)
         self.samples.append(
-            EnergySample(machine.name, busy_seconds, wall_seconds, joules)
+            EnergySample(machine.name, busy_seconds, wall_seconds, joules, slot=slot)
         )
         return joules
 
@@ -105,6 +113,14 @@ class EnergyCounter:
         out: Dict[str, float] = {}
         for s in self.samples:
             out[s.machine] = out.get(s.machine, 0.0) + s.joules
+        return out
+
+    def by_slot(self) -> Dict[int, float]:
+        """Total joules keyed by cluster slot (tagged samples only)."""
+        out: Dict[int, float] = {}
+        for s in self.samples:
+            if s.slot is not None:
+                out[s.slot] = out.get(s.slot, 0.0) + s.joules
         return out
 
     def reset(self) -> None:

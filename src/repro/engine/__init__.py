@@ -15,6 +15,9 @@ Key pieces:
 * :class:`ExecutionTrace` / :func:`simulate_execution` -- machine-agnostic
   capture, cluster-specific pricing.
 * :class:`GraphProcessingSystem` -- the end-to-end Fig. 7b flow.
+* :func:`simulate_resilient_execution` / :class:`ResilientRuntime` --
+  fault-aware pricing and the crash/straggler-surviving control loop
+  (see :mod:`repro.faults` for the fault models themselves).
 """
 
 from repro.engine.accounting import AppCostModel
@@ -24,6 +27,14 @@ from repro.engine.report import ExecutionReport, MachineReport, simulate_executi
 from repro.engine.vertex_program import GraphApplication, SyncVertexProgram
 from repro.engine.sync_engine import SyncEngine
 from repro.engine.runtime import GraphProcessingSystem, RunOutcome
+from repro.engine.resilient import (
+    FaultRecord,
+    RecoveryStats,
+    ResilientExecutionReport,
+    ResilientOutcome,
+    ResilientRuntime,
+    simulate_resilient_execution,
+)
 
 __all__ = [
     "AppCostModel",
@@ -39,4 +50,10 @@ __all__ = [
     "SyncEngine",
     "GraphProcessingSystem",
     "RunOutcome",
+    "FaultRecord",
+    "RecoveryStats",
+    "ResilientExecutionReport",
+    "ResilientOutcome",
+    "ResilientRuntime",
+    "simulate_resilient_execution",
 ]

@@ -12,7 +12,7 @@ exactly the quantities Figs. 9 and 10 compare.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,12 @@ from repro.cluster.power import EnergyCounter
 from repro.engine.trace import ExecutionTrace
 from repro.errors import EngineError
 
-__all__ = ["MachineReport", "ExecutionReport", "simulate_execution"]
+__all__ = [
+    "MachineReport",
+    "ExecutionReport",
+    "simulate_execution",
+    "trace_warnings",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,9 @@ class ExecutionReport:
     machines: List[MachineReport]
     num_supersteps: int
     result: Dict[str, Any] = field(default_factory=dict)
+    #: Non-fatal anomalies observed while pricing (e.g. the application hit
+    #: its superstep budget without converging).  Empty on clean runs.
+    warnings: Tuple[str, ...] = ()
 
     @property
     def straggler(self) -> str:
@@ -134,13 +142,17 @@ def simulate_execution(
         for i, spec in enumerate(cluster.machines):
             threads = spec.compute_threads if threads_override is None \
                 else threads_override[i]
-            counter.record(spec, float(step_busy[i]), step_wall, threads=threads)
+            counter.record(
+                spec, float(step_busy[i]), step_wall, threads=threads, slot=i
+            )
 
-    # The EnergyCounter recorded one sample per (machine, superstep) in
-    # slot order; reconstruct per-slot totals from the sample stream.
+    # Every sample carries its cluster slot, so per-slot totals do not
+    # depend on how many samples a superstep happened to record (recovery
+    # replays and checkpoint windows break any fixed samples-per-step
+    # ordering invariant).
     slot_energy = np.zeros(m)
-    for k, sample in enumerate(counter.samples):
-        slot_energy[k % m] += sample.joules
+    for sample in counter.samples:
+        slot_energy[sample.slot] += sample.joules
 
     reports = []
     for i, spec in enumerate(cluster.machines):
@@ -161,4 +173,15 @@ def simulate_execution(
         machines=reports,
         num_supersteps=trace.num_supersteps,
         result=dict(trace.result),
+        warnings=trace_warnings(trace),
     )
+
+
+def trace_warnings(trace: ExecutionTrace) -> Tuple[str, ...]:
+    """Anomalies a priced report should surface (currently: convergence)."""
+    if trace.result.get("converged") is False:
+        return (
+            f"{trace.app} did not converge: superstep budget exhausted "
+            f"after {trace.num_supersteps} supersteps",
+        )
+    return ()

@@ -1,0 +1,595 @@
+"""Fault-aware pricing and the resilient runtime.
+
+:func:`simulate_execution` prices a trace on a cluster that never fails.
+This module prices the same trace on a cluster that *does*: machines
+crash and must replay from checkpoints, machines degrade and stretch
+every barrier after them, the interconnect throttles.  Two layers:
+
+* :func:`simulate_resilient_execution` — the pricing walk.  It consumes a
+  :class:`~repro.faults.FaultSchedule` and charges exactly what a
+  synchronous engine would pay: slowed supersteps stretch to the degraded
+  straggler, a crash loses the attempt and pays backoff + restart +
+  replay from the last checkpoint, checkpoints tax fault-free supersteps
+  at the policy's interval.  Recovery is bounded — a crash site that
+  keeps failing past the :class:`~repro.faults.RetryPolicy` budget raises
+  :class:`~repro.errors.RecoveryError`.
+* :class:`ResilientRuntime` — the control loop.  It runs an application
+  end-to-end, watches per-superstep timings through a
+  :class:`~repro.faults.Supervisor`, and on a persistent-straggler
+  verdict re-partitions the graph onto degradation-discounted weights and
+  migrates mid-run — the "graceful degradation" answer to the fault
+  model.  Observed slowdowns are also fed back into an
+  :class:`~repro.core.online.OnlineCCRMonitor` so later runs start from
+  the degraded capability.
+
+Everything is opt-in: with no faults to inject and no supervisor verdict
+possible, the pricing path delegates to :func:`simulate_execution` and the
+report is identical to the static simulator's, field for field.
+
+Key modelling choices (see DESIGN.md "Fault model & resilience"):
+
+* The *algorithm* needs no recovery — superstep values are a
+  deterministic global computation, so replay reproduces them exactly;
+  only time and energy are at stake.  This mirrors real synchronous
+  engines, where recovery restores a consistent snapshot and re-runs the
+  same deterministic supersteps.
+* Re-partitioning mid-run is priced by splicing traces: superstep ``k``
+  of a run on partition B has the same global state as superstep ``k`` on
+  partition A, so the priced execution is A's supersteps before the
+  migration and B's after it, plus a one-off migration charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.power import EnergyCounter
+from repro.engine.distributed_graph import DistributedGraph
+from repro.engine.report import (
+    ExecutionReport,
+    MachineReport,
+    simulate_execution,
+    trace_warnings,
+)
+from repro.engine.trace import ExecutionTrace
+from repro.engine.vertex_program import GraphApplication
+from repro.errors import EngineError, FaultError, RecoveryError
+from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.faults.supervisor import Supervisor
+from repro.graph.digraph import DiGraph
+from repro.partition.base import Partitioner, PartitionResult
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "FaultRecord",
+    "RecoveryStats",
+    "ResilientExecutionReport",
+    "ResilientOutcome",
+    "ResilientRuntime",
+    "simulate_resilient_execution",
+]
+
+_MB = 1e6
+#: Bytes migrated per re-assigned edge (two int64 endpoints).
+_EDGE_BYTES = 16.0
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One entry of the priced run's event log."""
+
+    kind: str  # "crash" | "checkpoint" | "rebalance" | "run-failed"
+    superstep: int
+    seconds: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """What resilience cost over one priced run."""
+
+    num_crashes: int = 0
+    lost_attempts: int = 0
+    replayed_supersteps: int = 0
+    num_checkpoints: int = 0
+    checkpoint_seconds: float = 0.0
+    backoff_seconds: float = 0.0
+    restart_seconds: float = 0.0
+    rebalanced: bool = False
+    rebalance_superstep: Optional[int] = None
+    migration_seconds: float = 0.0
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Wall-clock spent on resilience rather than the algorithm."""
+        return (
+            self.checkpoint_seconds
+            + self.backoff_seconds
+            + self.restart_seconds
+            + self.migration_seconds
+        )
+
+
+@dataclass(frozen=True)
+class ResilientExecutionReport(ExecutionReport):
+    """A priced report plus the resilience bill and event log."""
+
+    recovery: RecoveryStats = RecoveryStats()
+    events: Tuple[FaultRecord, ...] = ()
+
+
+#: A rebalancer maps (superstep, straggler factors) to a re-partitioned
+#: continuation trace and its one-off migration cost, or None to decline.
+Rebalancer = Callable[
+    [int, Dict[int, float]], Optional[Tuple[ExecutionTrace, float]]
+]
+
+
+def simulate_resilient_execution(
+    trace: ExecutionTrace,
+    cluster: Cluster,
+    schedule: Optional[FaultSchedule] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    retry: Optional[RetryPolicy] = None,
+    threads_override: Optional[List[int]] = None,
+    supervisor: Optional[Supervisor] = None,
+    rebalancer: Optional[Rebalancer] = None,
+    seed: Optional[int] = None,
+) -> ExecutionReport:
+    """Price a trace on a cluster subject to a fault schedule.
+
+    Parameters
+    ----------
+    trace:
+        Captured execution to price.
+    cluster:
+        Machines slot-aligned with the trace's partitions.
+    schedule:
+        The failure scenario.  ``None`` or an empty schedule delegates to
+        :func:`simulate_execution` — the fault-free path is byte-identical
+        to the static simulator, checkpoint tax included (none).
+    checkpoint:
+        Checkpoint/restart cost model (default
+        :class:`~repro.faults.CheckpointPolicy`).
+    retry:
+        Recovery budget (default :class:`~repro.faults.RetryPolicy`).
+        Exceeding it raises :class:`~repro.errors.RecoveryError`.
+    supervisor:
+        Optional straggler detector, fed observed per-slot compute times
+        each completed superstep.
+    rebalancer:
+        Called once when the supervisor fires; may return a continuation
+        trace (same machine count) and its migration cost.
+    seed:
+        RNG stream for backoff jitter; defaults to the schedule's seed.
+
+    Returns
+    -------
+    ExecutionReport
+        A :class:`ResilientExecutionReport` when faults were priced, the
+        plain static report otherwise.
+    """
+    if schedule is None or schedule.is_empty:
+        return simulate_execution(trace, cluster, threads_override)
+
+    m = cluster.num_machines
+    if m != trace.num_machines:
+        raise EngineError(
+            f"trace was captured on {trace.num_machines} partitions but the "
+            f"cluster has {m} machines"
+        )
+    if threads_override is not None and len(threads_override) != m:
+        raise EngineError("threads_override must have one entry per machine")
+    schedule.validate_for(m)
+    checkpoint = checkpoint if checkpoint is not None else CheckpointPolicy()
+    retry = retry if retry is not None else RetryPolicy()
+    rng = make_rng(seed if seed is not None else schedule.seed)
+
+    busy = np.zeros(m)
+    comm = np.zeros(m)
+    wall = 0.0
+    counter = EnergyCounter()
+    networked = m > 1
+    base_network = cluster.network
+
+    # Crash sites: (superstep, slot) -> remaining fires; attempts counts
+    # restarts consumed per site against the retry budget.
+    sites: Dict[Tuple[int, int], int] = {}
+    for c in schedule.crashes:
+        key = (c.superstep, c.machine)
+        sites[key] = sites.get(key, 0) + c.repeats
+    attempts: Dict[Tuple[int, int], int] = {}
+
+    events: List[FaultRecord] = []
+    num_crashes = lost_attempts = replayed = num_checkpoints = 0
+    checkpoint_s = backoff_s = restart_s = migration_s = 0.0
+    rebalanced = False
+    rebalance_step: Optional[int] = None
+
+    active_trace = trace
+    last_checkpoint = 0
+    s = 0
+    while s < active_trace.num_supersteps:
+        step = active_trace.supersteps[s]
+        bw_factor, lat_factor = schedule.network_factors(s)
+        network = (
+            base_network
+            if bw_factor == 1.0
+            else replace(
+                base_network,
+                bandwidth_gbs=base_network.bandwidth_gbs / bw_factor,
+            )
+        )
+        step_busy = np.empty(m)
+        step_comm = np.empty(m)
+        for i, phase in enumerate(step.phases):
+            spec = cluster.machines[i]
+            threads = None if threads_override is None else threads_override[i]
+            step_busy[i] = cluster.perf.execution_time(
+                spec, phase.work, threads
+            ) * schedule.compute_factor(s, i)
+            step_comm[i] = (
+                network.transfer_time(
+                    phase.comm_bytes,
+                    rounds=step.sync_rounds,
+                    latency_scale=cluster.perf.model_scale * lat_factor,
+                )
+                if networked
+                else 0.0
+            )
+        step_wall = float(np.max(np.maximum(step_busy, step_comm)))
+
+        crashed = [
+            key for key in ((s, i) for i in range(m))
+            if sites.get(key, 0) > 0
+        ]
+        if crashed:
+            # The attempt's work happened (and burned energy) but is lost;
+            # recovery pays backoff + restart, then replays from the last
+            # checkpoint.
+            wall += step_wall
+            busy += step_busy
+            comm += step_comm
+            _record_step_energy(
+                counter, cluster, step_busy, step_wall, threads_override
+            )
+            pause = 0.0
+            for key in crashed:
+                sites[key] -= 1
+                attempts[key] = attempts.get(key, 0) + 1
+                num_crashes += 1
+                if attempts[key] > retry.max_retries:
+                    events.append(
+                        FaultRecord(
+                            kind="run-failed",
+                            superstep=s,
+                            seconds=0.0,
+                            detail=f"machine {key[1]} exhausted "
+                            f"{retry.max_retries} retries",
+                        )
+                    )
+                    raise RecoveryError(
+                        f"machine {key[1]} crashed {attempts[key]} times at "
+                        f"superstep {s}; retry budget of {retry.max_retries} "
+                        "exhausted"
+                    )
+                pause = max(pause, retry.backoff_seconds(attempts[key], rng))
+            pause += checkpoint.restart_seconds
+            _record_idle_energy(counter, cluster, pause)
+            wall += pause
+            backoff_s += pause - checkpoint.restart_seconds
+            restart_s += checkpoint.restart_seconds
+            lost_attempts += 1
+            replayed += s - last_checkpoint
+            events.append(
+                FaultRecord(
+                    kind="crash",
+                    superstep=s,
+                    seconds=pause,
+                    detail=f"machines {sorted(k[1] for k in crashed)} lost "
+                    f"superstep {s}; replay from {last_checkpoint}",
+                )
+            )
+            s = last_checkpoint
+            continue
+
+        # Superstep completed.
+        wall += step_wall
+        busy += step_busy
+        comm += step_comm
+        _record_step_energy(
+            counter, cluster, step_busy, step_wall, threads_override
+        )
+
+        if supervisor is not None and not rebalanced:
+            supervisor.observe(s, step_busy)
+            if supervisor.triggered and rebalancer is not None:
+                plan = rebalancer(s, dict(supervisor.report.factors))
+                if plan is not None:
+                    new_trace, cost = plan
+                    if new_trace.num_machines != m:
+                        raise FaultError(
+                            "rebalanced trace spans "
+                            f"{new_trace.num_machines} machines, cluster "
+                            f"has {m}"
+                        )
+                    if new_trace.num_supersteps <= s:
+                        raise FaultError(
+                            "rebalanced trace ends before the rebalance "
+                            f"superstep {s}"
+                        )
+                    _record_idle_energy(counter, cluster, cost)
+                    wall += cost
+                    migration_s += cost
+                    rebalanced = True
+                    rebalance_step = s
+                    active_trace = new_trace
+                    # Migration materialises a fresh consistent snapshot.
+                    last_checkpoint = s + 1
+                    events.append(
+                        FaultRecord(
+                            kind="rebalance",
+                            superstep=s,
+                            seconds=cost,
+                            detail="re-partitioned onto degradation-"
+                            "discounted weights "
+                            f"(stragglers {supervisor.report.slots})",
+                        )
+                    )
+
+        if checkpoint.is_checkpoint_step(s) and last_checkpoint != s + 1:
+            state_bytes = max(
+                phase.work.working_set_mb * _MB for phase in step.phases
+            )
+            dt = checkpoint.checkpoint_seconds(state_bytes)
+            _record_idle_energy(counter, cluster, dt)
+            wall += dt
+            checkpoint_s += dt
+            num_checkpoints += 1
+            last_checkpoint = s + 1
+            events.append(
+                FaultRecord(kind="checkpoint", superstep=s, seconds=dt)
+            )
+        s += 1
+
+    slot_energy = np.zeros(m)
+    for sample in counter.samples:
+        slot_energy[sample.slot] += sample.joules
+    reports = [
+        MachineReport(
+            machine=spec.name,
+            busy_seconds=float(busy[i]),
+            comm_seconds=float(comm[i]),
+            wall_seconds=wall,
+            energy_joules=float(slot_energy[i]),
+        )
+        for i, spec in enumerate(cluster.machines)
+    ]
+    return ResilientExecutionReport(
+        app=active_trace.app,
+        runtime_seconds=wall,
+        energy_joules=float(counter.total_joules),
+        machines=reports,
+        num_supersteps=active_trace.num_supersteps,
+        result=dict(active_trace.result),
+        warnings=trace_warnings(active_trace),
+        recovery=RecoveryStats(
+            num_crashes=num_crashes,
+            lost_attempts=lost_attempts,
+            replayed_supersteps=replayed,
+            num_checkpoints=num_checkpoints,
+            checkpoint_seconds=checkpoint_s,
+            backoff_seconds=backoff_s,
+            restart_seconds=restart_s,
+            rebalanced=rebalanced,
+            rebalance_superstep=rebalance_step,
+            migration_seconds=migration_s,
+        ),
+        events=tuple(events),
+    )
+
+
+def _record_step_energy(counter, cluster, step_busy, step_wall, threads_override):
+    for i, spec in enumerate(cluster.machines):
+        threads = (
+            spec.compute_threads
+            if threads_override is None
+            else threads_override[i]
+        )
+        counter.record(
+            spec, float(step_busy[i]), step_wall, threads=threads, slot=i
+        )
+
+
+def _record_idle_energy(counter, cluster, seconds):
+    """All machines idle at a barrier for a recovery/overhead window."""
+    if seconds <= 0.0:
+        return
+    for i, spec in enumerate(cluster.machines):
+        counter.record(spec, 0.0, seconds, threads=0, slot=i)
+
+
+# --------------------------------------------------------------------- #
+# Runtime
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ResilientOutcome:
+    """Everything produced by one resilient end-to-end run."""
+
+    partition: PartitionResult
+    dgraph: DistributedGraph
+    trace: ExecutionTrace
+    report: ExecutionReport
+    #: Present only when the supervisor triggered a mid-run re-balance.
+    rebalanced_partition: Optional[PartitionResult] = None
+    rebalanced_trace: Optional[ExecutionTrace] = None
+
+
+class ResilientRuntime:
+    """End-to-end graph processing that survives injected faults.
+
+    The resilient sibling of
+    :class:`~repro.engine.runtime.GraphProcessingSystem`: partition →
+    execute → price under a fault schedule, with a supervisor watching the
+    barrier timings.  On a persistent-straggler verdict it re-partitions
+    the graph onto degradation-discounted weights, splices the
+    re-balanced execution into the priced run, and (when given a monitor)
+    reports the degraded capability to the online CCR store so subsequent
+    runs start from the new reality.
+
+    Parameters
+    ----------
+    cluster:
+        Machines to run on (slot-aligned with partitions).
+    estimator:
+        Capability estimator for the initial weights; ``None`` = uniform
+        (cheapest; pass a CCR estimator for paper-guided initial shares).
+    partitioner:
+        Partitioning algorithm name or instance.
+    schedule:
+        Fault scenario to inject; ``None``/empty prices exactly like the
+        static path.
+    checkpoint, retry:
+        Recovery policies (defaults are sensible; see
+        :mod:`repro.faults.checkpoint`).
+    supervisor:
+        Straggler detector; ``None`` installs a fresh default
+        :class:`~repro.faults.Supervisor` per run.  Pass ``False``-y via
+        ``rebalance=False`` instead to disable re-balancing.
+    monitor:
+        Optional :class:`~repro.core.online.OnlineCCRMonitor` that
+        receives degradation reports when the supervisor fires.
+    rebalance:
+        Master switch for mid-run re-partitioning.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        estimator=None,
+        partitioner: Union[str, Partitioner] = "hybrid",
+        schedule: Optional[FaultSchedule] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[Supervisor] = None,
+        monitor=None,
+        rebalance: bool = True,
+        seed: Optional[int] = None,
+    ):
+        from repro.partition import make_partitioner
+
+        self.cluster = cluster
+        self.estimator = estimator
+        self.partitioner = (
+            partitioner
+            if isinstance(partitioner, Partitioner)
+            else make_partitioner(partitioner)
+        )
+        self.schedule = schedule
+        self.checkpoint = checkpoint
+        self.retry = retry
+        self._supervisor_template = supervisor
+        self.monitor = monitor
+        self.rebalance = rebalance
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+
+    def _weights(self, app_name: str, graph: DiGraph) -> np.ndarray:
+        if self.estimator is not None:
+            return np.asarray(
+                self.estimator.weights(self.cluster, app_name, graph),
+                dtype=np.float64,
+            )
+        from repro.partition.weights import uniform_weights
+
+        return uniform_weights(self.cluster)
+
+    def run(
+        self,
+        app: Union[str, GraphApplication],
+        graph: DiGraph,
+        weights: Optional[np.ndarray] = None,
+    ) -> ResilientOutcome:
+        """Partition, execute, and price one run under the fault model."""
+        from repro.apps.registry import make_app
+
+        application = make_app(app) if isinstance(app, str) else app
+        w = (
+            np.asarray(weights, dtype=np.float64)
+            if weights is not None
+            else self._weights(application.name, graph)
+        )
+        partition = self.partitioner.partition(
+            graph, self.cluster.num_machines, weights=w
+        )
+        dgraph = DistributedGraph(partition)
+        trace = application.execute(dgraph)
+
+        faulted = self.schedule is not None and not self.schedule.is_empty
+        supervisor = None
+        rebalancer = None
+        spliced: Dict[str, object] = {}
+        if faulted and self.rebalance:
+            supervisor = (
+                self._supervisor_template
+                if self._supervisor_template is not None
+                else Supervisor()
+            )
+
+            def rebalancer(superstep, factors):
+                new_w = supervisor.degraded_weights(w)
+                if self.monitor is not None:
+                    supervisor.apply_to_monitor(self.monitor, self.cluster)
+                new_partition = self.partitioner.partition(
+                    graph, self.cluster.num_machines, weights=new_w
+                )
+                new_trace = application.execute(
+                    DistributedGraph(new_partition)
+                )
+                cost = self._migration_seconds(partition, new_partition)
+                spliced["partition"] = new_partition
+                spliced["trace"] = new_trace
+                return new_trace, cost
+
+        report = simulate_resilient_execution(
+            trace,
+            self.cluster,
+            schedule=self.schedule,
+            checkpoint=self.checkpoint,
+            retry=self.retry,
+            supervisor=supervisor,
+            rebalancer=rebalancer,
+            seed=self.seed,
+        )
+        return ResilientOutcome(
+            partition=partition,
+            dgraph=dgraph,
+            trace=trace,
+            report=report,
+            rebalanced_partition=spliced.get("partition"),
+            rebalanced_trace=spliced.get("trace"),
+        )
+
+    def _migration_seconds(
+        self, old: PartitionResult, new: PartitionResult
+    ) -> float:
+        """One-off cost of moving re-assigned edges between machines.
+
+        Every edge whose slot changed crosses the network once; the moves
+        happen in parallel across machine pairs, so the charge is the
+        total volume over the cluster's aggregate exchange bandwidth.
+        """
+        moved = int(np.count_nonzero(old.assignment != new.assignment))
+        total_bytes = moved * _EDGE_BYTES
+        aggregate_gbs = self.cluster.network.bandwidth_gbs * max(
+            1, self.cluster.num_machines
+        )
+        return total_bytes / (aggregate_gbs * 1e9)

@@ -29,7 +29,7 @@ import numpy as np
 from repro.engine.distributed_graph import DistributedGraph
 from repro.engine.trace import ExecutionTrace, MachinePhase, SuperstepTrace
 from repro.engine.vertex_program import SyncVertexProgram
-from repro.errors import EngineError
+from repro.errors import ConvergenceError, EngineError
 
 __all__ = ["SyncEngine"]
 
@@ -37,7 +37,18 @@ _ACC_INIT = {"sum": 0.0, "min": np.inf}
 
 
 class SyncEngine:
-    """Drives synchronous supersteps and records the execution trace."""
+    """Drives synchronous supersteps and records the execution trace.
+
+    Parameters
+    ----------
+    strict:
+        When true, hitting ``max_supersteps`` with vertices still active
+        raises :class:`~repro.errors.ConvergenceError` instead of quietly
+        returning a ``converged: False`` trace.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
 
     def run(
         self, program: SyncVertexProgram, dgraph: DistributedGraph
@@ -112,9 +123,15 @@ class SyncEngine:
             values, active = new_values, new_active
             superstep += 1
 
+        converged = not bool(np.any(active))
+        if not converged and self.strict:
+            raise ConvergenceError(
+                f"{program.name} did not converge within "
+                f"{program.max_supersteps} supersteps"
+            )
         trace.result = program.finalize(graph, values)
         trace.result["supersteps"] = superstep
-        trace.result["converged"] = not bool(np.any(active))
+        trace.result["converged"] = converged
         return trace
 
     @staticmethod

@@ -72,6 +72,10 @@ class SyncVertexProgram(GraphApplication):
     undirected: bool = False
     #: Safety bound on supersteps.
     max_supersteps: int = 200
+    #: When true, hitting the superstep budget without convergence raises
+    #: :class:`~repro.errors.ConvergenceError` instead of returning a
+    #: ``converged: False`` trace.
+    strict: bool = False
 
     # ------------------------------------------------------------------ #
 
@@ -130,4 +134,4 @@ class SyncVertexProgram(GraphApplication):
         # program interface for typing).
         from repro.engine.sync_engine import SyncEngine
 
-        return SyncEngine().run(self, dgraph)
+        return SyncEngine(strict=self.strict).run(self, dgraph)

@@ -16,6 +16,8 @@ __all__ = [
     "ProfilingError",
     "EngineError",
     "ConvergenceError",
+    "FaultError",
+    "RecoveryError",
 ]
 
 
@@ -51,5 +53,20 @@ class ConvergenceError(ReproError):
     """An iterative numerical procedure failed to converge.
 
     Raised e.g. by the Newton solver for the power-law exponent when the
-    requested average degree cannot be matched within the iteration budget.
+    requested average degree cannot be matched within the iteration budget,
+    or by the synchronous engine in strict mode when an application hits
+    its superstep budget without converging.
+    """
+
+
+class FaultError(ReproError):
+    """Invalid fault model or schedule (bad rates, malformed events, ...)."""
+
+
+class RecoveryError(FaultError):
+    """A faulted execution exhausted its recovery budget.
+
+    Raised by the resilient pricing path when a machine keeps crashing past
+    the retry policy's bound; the run is declared failed rather than being
+    replayed forever.
     """

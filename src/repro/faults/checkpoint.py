@@ -1,0 +1,127 @@
+"""Checkpoint/restart cost model and bounded-retry policy.
+
+Synchronous engines recover from fail-stop crashes by replaying from the
+last globally consistent snapshot — the classic Chandy-Lamport-at-the-
+barrier scheme PowerGraph and Pregel both use.  Two knobs govern the
+recovery bill:
+
+* :class:`CheckpointPolicy` — how often state is snapshotted and what one
+  snapshot costs.  Frequent checkpoints mean short replays but a steady
+  overhead tax on fault-free supersteps; rare checkpoints are cheap until
+  something crashes.
+* :class:`RetryPolicy` — how many restarts a run tolerates and how long
+  it backs off between attempts (exponential with seeded jitter, the
+  standard dogpile-avoidance shape).
+
+Both are plain data consumed by the resilient pricing path
+(:mod:`repro.engine.resilient`); neither touches execution state, because
+in this simulator the algorithm's values are deterministic and only
+*time and energy* need recovering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultError
+
+__all__ = ["CheckpointPolicy", "RetryPolicy"]
+
+_GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to snapshot and what a snapshot costs.
+
+    Attributes
+    ----------
+    interval:
+        Checkpoint every ``interval`` supersteps (state at superstep 0 is
+        the free implicit checkpoint — it is the input).  ``0`` disables
+        checkpointing entirely: a crash then replays from the beginning.
+    base_seconds:
+        Fixed coordination cost per checkpoint (barrier + metadata).
+    write_gbs:
+        Per-machine snapshot write bandwidth in GB/s; the per-checkpoint
+        cost is the *slowest* machine's state divided by this (the
+        checkpoint is itself a barrier).
+    restart_seconds:
+        Time to bring a crashed machine back (reboot, rejoin, reload the
+        last snapshot) before replay can begin.
+    """
+
+    interval: int = 10
+    base_seconds: float = 0.05
+    write_gbs: float = 1.0
+    restart_seconds: float = 2.0
+
+    def __post_init__(self):
+        if self.interval < 0:
+            raise FaultError("checkpoint interval must be >= 0 (0 disables)")
+        if self.base_seconds < 0:
+            raise FaultError("checkpoint base_seconds must be >= 0")
+        if self.write_gbs <= 0:
+            raise FaultError("checkpoint write_gbs must be > 0")
+        if self.restart_seconds < 0:
+            raise FaultError("restart_seconds must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    def is_checkpoint_step(self, superstep: int) -> bool:
+        """Whether a snapshot is taken after completing ``superstep``."""
+        return self.enabled and (superstep + 1) % self.interval == 0
+
+    def checkpoint_seconds(self, max_state_bytes: float) -> float:
+        """Wall-clock cost of one snapshot barrier."""
+        if max_state_bytes < 0:
+            raise FaultError("state bytes must be >= 0")
+        return self.base_seconds + max_state_bytes / (self.write_gbs * _GIGA)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded restarts with exponential backoff and jitter.
+
+    Attributes
+    ----------
+    max_retries:
+        Restarts tolerated per crash site before the run is declared
+        failed with :class:`~repro.errors.RecoveryError`.
+    backoff_base_s:
+        Backoff before the first restart.
+    backoff_factor:
+        Multiplier applied per successive restart of the same site.
+    jitter:
+        Fraction of the backoff added as seeded uniform noise in
+        ``[0, jitter)`` — deterministic given the pricing RNG, so priced
+        reports stay reproducible.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise FaultError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise FaultError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise FaultError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultError("jitter must be in [0, 1]")
+
+    def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before restart number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultError("attempt must be >= 1")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + float(rng.uniform(0.0, self.jitter)))

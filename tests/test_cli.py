@@ -100,6 +100,94 @@ class TestProcess:
                   "--dataset", "wiki", "--scale", "0.001"])
 
 
+class TestValidation:
+    """Bad numeric arguments die with argparse's usage error (exit 2)."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["generate", "--vertices", "0"],
+            ["generate", "--vertices", "-5"],
+            ["generate", "--alpha", "1.0"],
+            ["generate", "--alpha", "0.9"],
+            ["generate", "--scale", "0"],
+            ["generate", "--scale", "1.5"],
+            ["faults", "--machines", "0"],
+            ["faults", "--machines", "4", "--crash-rate", "1.5"],
+            ["faults", "--machines", "4", "--slowdown-rate", "-0.1"],
+            ["process", "--cluster", "c4.xlarge", "--app", "pagerank",
+             "--dataset", "wiki", "--max-retries", "0"],
+        ],
+    )
+    def test_rejected_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "error: argument" in capsys.readouterr().err
+
+    def test_valid_values_still_accepted(self, tmp_path):
+        out = tmp_path / "g.npz"
+        assert main(["generate", "--vertices", "200", "--alpha", "1.8",
+                     "--output", str(out)]) == 0
+
+
+class TestFaults:
+    def test_generate_prints_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        code = main(
+            ["faults", "--machines", "4", "--supersteps", "30",
+             "--crash-rate", "0.05", "--slowdown-rate", "0.05",
+             "--seed", "7", "--output", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "fault schedule" in text
+        assert out.exists()
+        from repro.faults.schedule import FaultSchedule
+
+        sched = FaultSchedule.load(out)
+        assert not sched.is_empty
+
+    def test_process_with_fault_schedule(self, tmp_path, capsys):
+        from repro.faults.schedule import CrashFault, FaultSchedule
+
+        path = tmp_path / "crash.json"
+        FaultSchedule(crashes=(CrashFault(superstep=2, machine=0),),
+                      seed=3).save(path)
+        code = main(
+            ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--app", "pagerank", "--dataset", "wiki", "--scale", "0.002",
+             "--fault-schedule", str(path)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "resilience" in text
+        assert "1 crash(es)" in text
+
+    def test_process_reports_run_failure(self, tmp_path, capsys):
+        from repro.faults.schedule import CrashFault, FaultSchedule
+
+        path = tmp_path / "doomed.json"
+        FaultSchedule(crashes=(CrashFault(superstep=2, machine=0,
+                                          repeats=20),), seed=3).save(path)
+        code = main(
+            ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--app", "pagerank", "--dataset", "wiki", "--scale", "0.002",
+             "--fault-schedule", str(path), "--max-retries", "2"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_strict_passes_on_converged_run(self, capsys):
+        code = main(
+            ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--app", "pagerank", "--dataset", "wiki", "--scale", "0.002",
+             "--strict"]
+        )
+        assert code == 0
+        assert "warning" not in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

@@ -120,6 +120,45 @@ class TestOnlineEstimator:
         assert profiled == [True, False]
 
 
+class TestDegradation:
+    def test_default_is_healthy(self):
+        mon = monitor()
+        assert mon.degradation("c4.xlarge") == 1.0
+        assert mon.degradations == {}
+
+    def test_degradation_reweights_without_reprofiling(self):
+        mon = monitor()
+        c = cluster_of("c4.xlarge", "c4.2xlarge")
+        mon.observe(c)
+        before = mon.pool_for(c).get("pagerank").ratio("c4.2xlarge")
+        mon.report_degradation("c4.2xlarge", 4.0)
+        after = mon.pool_for(c).get("pagerank").ratio("c4.2xlarge")
+        # Proxy times scale up 4x -> capability ratio shrinks.
+        assert after < before
+        # No new profiling run was charged.
+        assert [u.profiled for u in mon.updates] == [True]
+
+    def test_degradation_compounds_and_clears(self):
+        mon = monitor()
+        mon.observe(cluster_of("c4.xlarge"))
+        mon.report_degradation("c4.xlarge", 2.0)
+        mon.report_degradation("c4.xlarge", 3.0)
+        assert mon.degradation("c4.xlarge") == pytest.approx(6.0)
+        mon.clear_degradation("c4.xlarge")
+        assert mon.degradation("c4.xlarge") == 1.0
+
+    def test_speedup_rejected(self):
+        mon = monitor()
+        mon.observe(cluster_of("c4.xlarge"))
+        with pytest.raises(ProfilingError):
+            mon.report_degradation("c4.xlarge", 0.5)
+
+    def test_unknown_type_rejected(self):
+        mon = monitor()
+        with pytest.raises(ProfilingError):
+            mon.report_degradation("c4.8xlarge", 2.0)
+
+
 def test_monitor_requires_apps():
     with pytest.raises(ProfilingError):
         OnlineCCRMonitor(apps=())

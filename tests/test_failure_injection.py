@@ -19,8 +19,10 @@ from repro.engine.trace import ExecutionTrace, SuperstepTrace, MachinePhase
 from repro.cluster.perfmodel import WorkProfile
 from repro.errors import (
     EngineError,
+    FaultError,
     PartitionError,
     ProfilingError,
+    RecoveryError,
     ReproError,
 )
 from repro.graph.digraph import DiGraph
@@ -129,6 +131,51 @@ class TestDegenerateGraphs:
         part = PartitionResult(g, np.empty(0, np.int32), 1, "x", None)
         trace = SyncEngine().run(ConnectedComponents(), DistributedGraph(part))
         assert trace.result["num_components"] == 6
+
+
+class TestFaultInjectionErrors:
+    """The fault subsystem obeys the same fail-loudly contract."""
+
+    def test_recovery_error_is_fault_error(self):
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(RecoveryError, FaultError)
+
+    def test_malformed_schedule_raises_fault_error(self):
+        from repro.faults.schedule import FaultSchedule
+
+        with pytest.raises(FaultError, match="malformed"):
+            FaultSchedule.from_json("not json at all")
+
+    def test_schedule_for_wrong_cluster_fails_loudly(self, powerlaw_graph):
+        """A scenario targeting a machine the cluster lacks never prices."""
+        from repro.apps.pagerank import PageRank
+        from repro.engine.resilient import simulate_resilient_execution
+        from repro.faults.schedule import CrashFault, FaultSchedule
+
+        part = make_partitioner("random_hash").partition(powerlaw_graph, 2)
+        trace = PageRank(max_supersteps=3).execute(DistributedGraph(part))
+        cluster = Cluster([get_machine("c4.xlarge")] * 2)
+        sched = FaultSchedule(crashes=(CrashFault(0, machine=5),))
+        with pytest.raises(FaultError, match="slot 5"):
+            simulate_resilient_execution(trace, cluster, schedule=sched)
+
+    def test_exhausted_retries_catchable_as_fault_error(self, powerlaw_graph):
+        from repro.apps.pagerank import PageRank
+        from repro.engine.resilient import simulate_resilient_execution
+        from repro.faults.checkpoint import RetryPolicy
+        from repro.faults.schedule import CrashFault, FaultSchedule
+
+        part = make_partitioner("random_hash").partition(powerlaw_graph, 2)
+        trace = PageRank(max_supersteps=5).execute(DistributedGraph(part))
+        cluster = Cluster([get_machine("c4.xlarge")] * 2)
+        sched = FaultSchedule(
+            crashes=(CrashFault(superstep=1, machine=0, repeats=10),), seed=1
+        )
+        with pytest.raises(FaultError) as exc:
+            simulate_resilient_execution(
+                trace, cluster, schedule=sched, retry=RetryPolicy(max_retries=1)
+            )
+        assert isinstance(exc.value, RecoveryError)
 
 
 class TestNumericalRobustness:

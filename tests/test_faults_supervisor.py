@@ -1,0 +1,139 @@
+"""Unit tests for repro.faults.supervisor (straggler detection)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.core.online import OnlineCCRMonitor
+from repro.core.profiler import ProxyProfiler
+from repro.core.proxy import ProxySet
+from repro.errors import FaultError
+from repro.faults.supervisor import Supervisor
+
+
+def feed(sup, observations):
+    for step, busy in enumerate(observations):
+        sup.observe(step, np.asarray(busy, dtype=float))
+
+
+BALANCED = [1.0, 1.0, 1.0, 1.0]
+
+
+def degraded(slot, factor):
+    busy = list(BALANCED)
+    busy[slot] *= factor
+    return busy
+
+
+class TestParameters:
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(FaultError):
+            Supervisor(threshold=1.0)
+
+    def test_patience_positive(self):
+        with pytest.raises(FaultError):
+            Supervisor(patience=0)
+
+    def test_negative_busy_rejected(self):
+        sup = Supervisor()
+        with pytest.raises(FaultError):
+            sup.observe(0, np.array([-1.0, 1.0]))
+
+
+class TestDetection:
+    def test_no_faults_no_verdict(self):
+        sup = Supervisor()
+        feed(sup, [BALANCED] * 20)
+        assert not sup.triggered
+
+    def test_persistent_straggler_detected(self):
+        sup = Supervisor(threshold=1.5, patience=3, warmup=2)
+        feed(sup, [BALANCED] * 4 + [degraded(2, 4.0)] * 5)
+        assert sup.triggered
+        assert sup.report.slots == (2,)
+        # Estimated factor close to the injected 4x.
+        assert sup.report.factors[2] == pytest.approx(4.0, rel=0.15)
+
+    def test_patience_filters_transients(self):
+        sup = Supervisor(threshold=1.5, patience=3, warmup=2)
+        # Two-step blips separated by healthy steps never fire.
+        blip = [degraded(1, 4.0)] * 2 + [BALANCED] * 2
+        feed(sup, [BALANCED] * 2 + blip * 5)
+        assert not sup.triggered
+
+    def test_cannot_fire_during_warmup(self):
+        sup = Supervisor(threshold=1.2, patience=1, warmup=4)
+        feed(sup, [degraded(0, 10.0)] * 3)
+        assert not sup.triggered
+
+    def test_frontier_scaling_is_not_degradation(self):
+        """A superstep where everyone does 10x the work is not a fault."""
+        sup = Supervisor(threshold=1.5, patience=2, warmup=2)
+        feed(sup, [BALANCED] * 3 + [[10.0] * 4] * 5)
+        assert not sup.triggered
+
+    def test_verdict_is_one_shot(self):
+        sup = Supervisor(threshold=1.5, patience=2, warmup=2)
+        feed(sup, [BALANCED] * 2 + [degraded(3, 4.0)] * 3)
+        assert sup.triggered
+        first = sup.report
+        sup.observe(99, np.asarray(degraded(1, 8.0)))
+        assert sup.report is first
+
+    def test_reset_forgets_everything(self):
+        sup = Supervisor(threshold=1.5, patience=2, warmup=2)
+        feed(sup, [BALANCED] * 2 + [degraded(3, 4.0)] * 3)
+        assert sup.triggered
+        sup.reset()
+        assert not sup.triggered and not sup.calibrated
+
+    def test_slot_count_mismatch_rejected(self):
+        sup = Supervisor(warmup=1)
+        sup.observe(0, np.asarray(BALANCED))
+        with pytest.raises(FaultError, match="slots"):
+            sup.observe(1, np.array([1.0, 1.0]))
+
+
+class TestActuation:
+    def make_triggered(self, slot=1, factor=4.0):
+        sup = Supervisor(threshold=1.5, patience=2, warmup=2)
+        feed(sup, [BALANCED] * 2 + [degraded(slot, factor)] * 3)
+        assert sup.triggered
+        return sup
+
+    def test_degraded_weights_discount_straggler(self):
+        sup = self.make_triggered(slot=1, factor=4.0)
+        w = sup.degraded_weights(np.full(4, 0.25))
+        assert w.sum() == pytest.approx(1.0)
+        assert w.argmin() == 1
+        # Roughly a quarter of its former share.
+        assert w[1] == pytest.approx(w[0] / 4.0, rel=0.2)
+
+    def test_degraded_weights_requires_verdict(self):
+        with pytest.raises(FaultError, match="not detected"):
+            Supervisor().degraded_weights(np.full(4, 0.25))
+
+    def test_apply_to_monitor_changes_ccr(self):
+        monitor = OnlineCCRMonitor(
+            profiler=ProxyProfiler(
+                proxies=ProxySet(num_vertices=1200, seed=61)
+            ),
+            apps=("pagerank",),
+        )
+        cluster = Cluster(
+            [get_machine("c4.xlarge"), get_machine("c4.2xlarge")]
+        )
+        monitor.observe(cluster)
+        before = monitor.pool_for(cluster).get("pagerank")
+        sup = Supervisor(threshold=1.5, patience=2, warmup=2)
+        feed(sup, [[1.0, 1.0]] * 2 + [[1.0, 4.0]] * 3)
+        assert sup.triggered
+        applied = sup.apply_to_monitor(monitor, cluster)
+        assert "c4.2xlarge" in applied
+        after = monitor.pool_for(cluster).get("pagerank")
+        # The degraded fast machine lost capability relative to before.
+        assert (
+            after.ratio("c4.2xlarge") / after.ratio("c4.xlarge")
+            < before.ratio("c4.2xlarge") / before.ratio("c4.xlarge")
+        )
