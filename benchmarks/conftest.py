@@ -5,16 +5,33 @@ same rows/series the paper reports (run with ``-s`` to see them inline;
 they also assert the headline *shape* so the suite doubles as a regression
 check on the reproduction).  Scales are chosen so the full suite completes
 in minutes on one core.
+
+Every benchmark runs under a fresh :class:`repro.obs.Observer`, and the
+session writes ``BENCH_PR2.json`` at the repository root: per-benchmark
+wall time plus the key observed metric counts (spans, edge ops, sync
+bytes, supersteps).  The file is machine-readable provenance for CI trend
+tracking.
 """
 
+import json
+import pathlib
 import sys
+import time
 
 import pytest
+
+from repro.obs import Observer, enabled
 
 #: Graph scale used by the heavier evaluation benches.  0.01 of the
 #: paper-scale vertex counts keeps every sweep tractable on one core while
 #: staying above the noise floor of the smallest graphs.
 BENCH_SCALE = 0.01
+
+#: Where the per-benchmark record lands (repository root).
+BENCH_REPORT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+#: test nodeid -> record; filled by the autouse fixture below.
+_RECORDS = {}
 
 
 def emit(text: str) -> None:
@@ -25,3 +42,44 @@ def emit(text: str) -> None:
 @pytest.fixture
 def bench_scale() -> float:
     return BENCH_SCALE
+
+
+def _sum_prefix(values, prefix):
+    """Sum a flat metric dict over every label set of one metric name."""
+    return float(
+        sum(v for k, v in values.items() if k.split("{")[0] == prefix)
+    )
+
+
+@pytest.fixture(autouse=True)
+def bench_observer(request):
+    """Time each benchmark and record what the observer saw."""
+    observer = Observer()
+    start = time.perf_counter()
+    with enabled(observer):
+        yield observer
+    wall = time.perf_counter() - start
+
+    counters = observer.metrics.counters
+    _RECORDS[request.node.nodeid] = {
+        "wall_seconds": round(wall, 4),
+        "spans": len(observer.spans),
+        "final_tick": observer.tracer.clock.ticks,
+        "edge_ops": _sum_prefix(counters, "engine.edge_ops"),
+        "sync_bytes": _sum_prefix(counters, "engine.sync_bytes"),
+        "supersteps": _sum_prefix(counters, "engine.supersteps"),
+        "edges_partitioned": _sum_prefix(counters, "partition.edges_assigned"),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    report = {
+        "scale": BENCH_SCALE,
+        "benchmarks": dict(sorted(_RECORDS.items())),
+        "total_wall_seconds": round(
+            sum(r["wall_seconds"] for r in _RECORDS.values()), 4
+        ),
+    }
+    BENCH_REPORT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

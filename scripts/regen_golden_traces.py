@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under ``tests/golden/``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+The recipe (graph, cluster, partitioner, weights) lives in
+:mod:`repro.testing` so this script and ``tests/test_golden_traces.py``
+can never disagree about what "the golden run" is.
+
+Only run this after an *intentional* change to engine semantics, and say
+so in the commit message — the whole point of the fixtures is that
+accidental drift fails the suite loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.testing import GOLDEN_APPS, golden_graph, golden_trace  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    graph = golden_graph()
+    for app in GOLDEN_APPS:
+        trace = golden_trace(app, graph=graph)
+        path = GOLDEN_DIR / f"{app}.trace.json"
+        path.write_text(trace.canonical_json() + "\n")
+        print(
+            f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
+            f"({trace.num_supersteps} supersteps)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

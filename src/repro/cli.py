@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's main entry points without writing code:
+Six commands cover the library's main entry points without writing code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
@@ -10,10 +10,13 @@ Five commands cover the library's main entry points without writing code:
   described cluster, under a chosen capability policy.  With
   ``--fault-schedule`` the run is priced through the resilient runtime:
   crashes recover from checkpoints, persistent stragglers trigger a
-  mid-run re-balance.
+  mid-run re-balance.  With ``--obs-dir`` the run records spans, metrics,
+  the execution trace and the invocation config into a run directory.
 * ``faults``    — sample a deterministic fault scenario from seeded rates
   and save/inspect it for replay with ``process --fault-schedule``.
-* ``experiment``— regenerate one of the paper's tables/figures.
+* ``experiment``— regenerate one of the paper's tables/figures
+  (``--obs-dir`` records spans/metrics/provenance alongside).
+* ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
 
 Clusters are described as comma-separated machine type names from the
 catalog (e.g. ``m4.2xlarge,m4.2xlarge,c4.2xlarge,c4.2xlarge``).
@@ -199,7 +202,16 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _obs_config(args) -> dict:
+    """JSON-serialisable provenance snapshot of the CLI invocation."""
+    config = {k: v for k, v in vars(args).items() if k != "func"}
+    config["repro_version"] = __version__
+    return config
+
+
 def cmd_process(args) -> int:
+    from contextlib import nullcontext
+
     from repro.core.flow import ProxyGuidedSystem
     from repro.engine.resilient import ResilientRuntime
     from repro.errors import RecoveryError
@@ -210,25 +222,43 @@ def cmd_process(args) -> int:
     graph = _load_graph(args)
     estimator = _make_estimator(args.policy, args.scale)
 
-    if args.fault_schedule:
-        schedule = FaultSchedule.load(args.fault_schedule)
-        runtime = ResilientRuntime(
-            cluster,
-            estimator=estimator,
-            partitioner=args.partitioner,
-            schedule=schedule,
-            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
-            retry=RetryPolicy(max_retries=args.max_retries),
-            rebalance=not args.no_rebalance,
-        )
-        try:
-            outcome = runtime.run(args.app, graph)
-        except RecoveryError as exc:
-            print(f"run FAILED: {exc}")
-            return 1
-    else:
-        system = ProxyGuidedSystem(cluster, estimator=estimator)
-        outcome = system.process(args.app, graph, partitioner=args.partitioner)
+    observer = None
+    observed = nullcontext()
+    if args.obs_dir:
+        from repro.obs import Observer, enabled
+
+        observer = Observer()
+        observed = enabled(observer)
+
+    with observed:
+        if args.fault_schedule:
+            schedule = FaultSchedule.load(args.fault_schedule)
+            runtime = ResilientRuntime(
+                cluster,
+                estimator=estimator,
+                partitioner=args.partitioner,
+                schedule=schedule,
+                checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+                retry=RetryPolicy(max_retries=args.max_retries),
+                rebalance=not args.no_rebalance,
+            )
+            try:
+                outcome = runtime.run(args.app, graph)
+            except RecoveryError as exc:
+                print(f"run FAILED: {exc}")
+                if observer is not None:
+                    from repro.obs import write_run_artifacts
+
+                    write_run_artifacts(
+                        observer, args.obs_dir, config=_obs_config(args)
+                    )
+                    print(f"observability artifacts: {args.obs_dir}")
+                return 1
+        else:
+            system = ProxyGuidedSystem(cluster, estimator=estimator)
+            outcome = system.process(
+                args.app, graph, partitioner=args.partitioner
+            )
     report = outcome.report
 
     if args.strict and report.result.get("converged") is False:
@@ -268,6 +298,16 @@ def cmd_process(args) -> int:
             )
     for warning in report.warnings:
         print(f"warning     : {warning}")
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        write_run_artifacts(
+            observer,
+            args.obs_dir,
+            config=_obs_config(args),
+            trace=outcome.trace,
+        )
+        print(f"observability : {args.obs_dir}")
     return 0
 
 
@@ -318,12 +358,23 @@ _EXPERIMENTS = {
 
 def cmd_experiment(args) -> int:
     import importlib
+    from contextlib import nullcontext
 
     from repro.utils.tables import format_table
 
     module_name, func_name, takes_scale = _EXPERIMENTS[args.name]
     func = getattr(importlib.import_module(module_name), func_name)
-    result = func(scale=args.scale) if takes_scale else func()
+
+    observer = None
+    observed = nullcontext()
+    if args.obs_dir:
+        from repro.obs import Observer, enabled
+
+        observer = Observer()
+        observed = enabled(observer)
+
+    with observed:
+        result = func(scale=args.scale) if takes_scale else func()
     rows = result.rows()
     headers = (
         result.headers()
@@ -331,6 +382,35 @@ def cmd_experiment(args) -> int:
         else tuple(f"col{i}" for i in range(len(rows[0]) if rows else 0))
     )
     print(format_table(headers=headers, rows=rows, title=f"experiment {args.name}"))
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        config = getattr(result, "provenance", None) or _obs_config(args)
+        write_run_artifacts(observer, args.obs_dir, config=config)
+        print(f"observability artifacts: {args.obs_dir}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import diff_runs, summarize_run
+    from repro.utils.tables import format_table
+
+    if args.diff:
+        print(
+            format_table(
+                headers=("metric", "a", "b", "delta (b-a)"),
+                rows=diff_runs(args.run_dir, args.diff),
+                title=f"metrics diff: {args.run_dir} vs {args.diff}",
+            )
+        )
+    else:
+        print(
+            format_table(
+                headers=("section", "key", "value"),
+                rows=summarize_run(args.run_dir),
+                title=f"run artifacts: {args.run_dir}",
+            )
+        )
     return 0
 
 
@@ -390,6 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
     proc.add_argument("--no-rebalance", action="store_true",
                       help="disable supervisor-triggered mid-run "
                       "re-partitioning")
+    proc.add_argument("--obs-dir",
+                      help="record spans + metrics + trace + config into "
+                      "this run directory (see the `metrics` command)")
     proc.set_defaults(func=cmd_process)
 
     flt = sub.add_parser(
@@ -412,7 +495,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--scale", type=_model_scale, default=0.01)
+    exp.add_argument("--obs-dir",
+                     help="record the experiment's spans + metrics + "
+                     "provenance into this run directory")
     exp.set_defaults(func=cmd_experiment)
+
+    met = sub.add_parser(
+        "metrics", help="summarize or diff observability run artifacts"
+    )
+    met.add_argument("run_dir", help="run directory written by --obs-dir")
+    met.add_argument("--diff", metavar="OTHER_RUN_DIR",
+                     help="compare against a second run directory")
+    met.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -29,6 +29,7 @@ from repro.engine.report import simulate_execution
 from repro.engine.runtime import GraphProcessingSystem
 from repro.errors import ProfilingError
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 
 __all__ = ["ProfileRecord", "ProfileReport", "ProxyProfiler"]
 
@@ -91,21 +92,52 @@ class ProxyProfiler:
     def profile(self, cluster: Cluster) -> ProfileReport:
         """Profile all applications on the cluster's machine groups."""
         reps = cluster.representatives()
-        graphs = self.proxies.graphs()
-        records: List[ProfileRecord] = []
-        pool = CCRPool()
+        with obs.span(
+            "profile/run",
+            apps=list(self.apps),
+            machine_types=sorted(reps),
+            proxies=list(self.proxies.names),
+        ):
+            graphs = self.proxies.graphs()
+            records: List[ProfileRecord] = []
+            pool = CCRPool()
 
-        for app_name in self.apps:
-            per_machine: Dict[str, float] = {name: 0.0 for name in reps}
-            for proxy_name, graph in graphs.items():
-                times = self._time_on_machines(app_name, graph, cluster, reps)
-                for mtype, t in times.items():
-                    per_machine[mtype] += t
-                    records.append(
-                        ProfileRecord(app_name, proxy_name, mtype, t)
-                    )
-            pool.add(CCRTable(app=app_name, ratios=ccr_from_times(per_machine)))
-        return ProfileReport(pool=pool, records=records)
+            for app_name in self.apps:
+                per_machine: Dict[str, float] = {name: 0.0 for name in reps}
+                for proxy_name, graph in graphs.items():
+                    with obs.span(
+                        "profile/set", app=app_name, proxy=proxy_name
+                    ):
+                        times = self._time_on_machines(
+                            app_name, graph, cluster, reps
+                        )
+                    for mtype, t in times.items():
+                        per_machine[mtype] += t
+                        records.append(
+                            ProfileRecord(app_name, proxy_name, mtype, t)
+                        )
+                        if obs.is_enabled():
+                            obs.counter_add("profile.sets", 1.0)
+                            obs.event(
+                                "profile/sample",
+                                app=app_name,
+                                proxy=proxy_name,
+                                machine_type=mtype,
+                                runtime_seconds=t,
+                            )
+                table = CCRTable(
+                    app=app_name, ratios=ccr_from_times(per_machine)
+                )
+                pool.add(table)
+                if obs.is_enabled():
+                    for mtype, ratio in table.as_dict().items():
+                        obs.gauge_set(
+                            "profile.ccr",
+                            ratio,
+                            app=app_name,
+                            machine=mtype,
+                        )
+            return ProfileReport(pool=pool, records=records)
 
     def profile_graph(
         self, app_name: str, graph: DiGraph, cluster: Cluster
@@ -117,7 +149,10 @@ class ProxyProfiler:
         ground truth the accuracy evaluation (Fig. 8) compares against.
         """
         reps = cluster.representatives()
-        times = self._time_on_machines(app_name, graph, cluster, reps)
+        with obs.span(
+            "profile/oracle", app=app_name, machine_types=sorted(reps)
+        ):
+            times = self._time_on_machines(app_name, graph, cluster, reps)
         return CCRTable(app=app_name, ratios=ccr_from_times(times))
 
     # ------------------------------------------------------------------ #

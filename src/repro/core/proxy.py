@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import ProfilingError
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 from repro.powerlaw.generator import SyntheticGraphSpec, generate_from_spec
 from repro.powerlaw.validation import fit_alpha_from_graph
 
@@ -84,7 +85,14 @@ class ProxySet:
         """All proxy graphs, generating (and caching) as needed."""
         for spec in self._specs:
             if spec.name not in self._cache:
-                self._cache[spec.name] = generate_from_spec(spec)
+                with obs.span(
+                    "proxy/generate",
+                    proxy=spec.name,
+                    alpha=spec.alpha,
+                    vertices=spec.num_vertices,
+                    seed=spec.seed,
+                ):
+                    self._cache[spec.name] = generate_from_spec(spec)
         return dict(self._cache)
 
     # ------------------------------------------------------------------ #
@@ -119,6 +127,9 @@ class ProxySet:
             seed=self.seed + len(self._specs),
         )
         self._specs.append(spec)
+        obs.event(
+            "proxy/extend", proxy=spec.name, alpha=alpha, seed=spec.seed
+        )
         return True
 
     def __len__(self) -> int:

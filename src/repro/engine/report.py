@@ -20,6 +20,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.power import EnergyCounter
 from repro.engine.trace import ExecutionTrace
 from repro.errors import EngineError
+from repro.obs import context as obs
 
 __all__ = [
     "MachineReport",
@@ -136,6 +137,15 @@ def simulate_execution(
         # computation; a machine stalls on the network only when its
         # communication exceeds its computation.
         step_wall = float(np.max(np.maximum(step_busy, step_comm)))
+        if obs.is_enabled():
+            # Barrier slack: how long the fastest machine idles waiting
+            # for the straggler (the paper's imbalance cost, Figs. 9-10).
+            finish = np.maximum(step_busy, step_comm)
+            obs.histogram_record(
+                "pricing.straggler_slack_seconds",
+                step_wall - float(finish.min()),
+                app=trace.app,
+            )
         wall += step_wall
         busy += step_busy
         comm += step_comm
@@ -164,6 +174,12 @@ def simulate_execution(
                 wall_seconds=wall,
                 energy_joules=float(slot_energy[i]),
             )
+        )
+
+    if obs.is_enabled():
+        obs.gauge_set("pricing.runtime_seconds", wall, app=trace.app)
+        obs.gauge_set(
+            "pricing.energy_joules", float(counter.total_joules), app=trace.app
         )
 
     return ExecutionReport(

@@ -62,6 +62,7 @@ from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.faults.supervisor import Supervisor
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 from repro.partition.base import Partitioner, PartitionResult
 from repro.utils.rng import make_rng
 
@@ -190,6 +191,14 @@ def simulate_resilient_execution(
     retry = retry if retry is not None else RetryPolicy()
     rng = make_rng(seed if seed is not None else schedule.seed)
 
+    price_span = obs.span(
+        "resilience/price",
+        app=trace.app,
+        machines=m,
+        supersteps=trace.num_supersteps,
+        events=schedule.num_events,
+    )
+
     busy = np.zeros(m)
     comm = np.zeros(m)
     wall = 0.0
@@ -273,6 +282,13 @@ def simulate_resilient_execution(
                             f"{retry.max_retries} retries",
                         )
                     )
+                    obs.event(
+                        "resilience/run-failed",
+                        superstep=s,
+                        machine=key[1],
+                        retries=retry.max_retries,
+                    )
+                    price_span.close()
                     raise RecoveryError(
                         f"machine {key[1]} crashed {attempts[key]} times at "
                         f"superstep {s}; retry budget of {retry.max_retries} "
@@ -295,6 +311,20 @@ def simulate_resilient_execution(
                     f"superstep {s}; replay from {last_checkpoint}",
                 )
             )
+            if obs.is_enabled():
+                obs.counter_add("resilience.crashes", float(len(crashed)))
+                obs.counter_add(
+                    "resilience.replayed_supersteps",
+                    float(s - last_checkpoint),
+                )
+                obs.histogram_record("resilience.recovery_pause_seconds", pause)
+                obs.event(
+                    "resilience/crash",
+                    superstep=s,
+                    machines=sorted(k[1] for k in crashed),
+                    replay_from=last_checkpoint,
+                    pause_seconds=pause,
+                )
             s = last_checkpoint
             continue
 
@@ -341,6 +371,15 @@ def simulate_resilient_execution(
                             f"(stragglers {supervisor.report.slots})",
                         )
                     )
+                    if obs.is_enabled():
+                        obs.counter_add("resilience.rebalances", 1.0)
+                        obs.gauge_set("resilience.rebalance_superstep", s)
+                        obs.event(
+                            "resilience/rebalance",
+                            superstep=s,
+                            migration_seconds=cost,
+                            stragglers=list(supervisor.report.slots),
+                        )
 
         if checkpoint.is_checkpoint_step(s) and last_checkpoint != s + 1:
             state_bytes = max(
@@ -355,7 +394,22 @@ def simulate_resilient_execution(
             events.append(
                 FaultRecord(kind="checkpoint", superstep=s, seconds=dt)
             )
+            if obs.is_enabled():
+                obs.counter_add("resilience.checkpoints", 1.0)
+                obs.histogram_record("resilience.checkpoint_seconds", dt)
+                obs.event(
+                    "resilience/checkpoint", superstep=s, seconds=dt
+                )
         s += 1
+
+    if obs.is_enabled():
+        price_span.set(
+            wall_seconds=wall,
+            crashes=num_crashes,
+            checkpoints=num_checkpoints,
+            rebalanced=rebalanced,
+        )
+    price_span.close()
 
     slot_energy = np.zeros(m)
     for sample in counter.samples:
@@ -545,19 +599,24 @@ class ResilientRuntime:
             )
 
             def rebalancer(superstep, factors):
-                new_w = supervisor.degraded_weights(w)
-                if self.monitor is not None:
-                    supervisor.apply_to_monitor(self.monitor, self.cluster)
-                new_partition = self.partitioner.partition(
-                    graph, self.cluster.num_machines, weights=new_w
-                )
-                new_trace = application.execute(
-                    DistributedGraph(new_partition)
-                )
-                cost = self._migration_seconds(partition, new_partition)
-                spliced["partition"] = new_partition
-                spliced["trace"] = new_trace
-                return new_trace, cost
+                with obs.span(
+                    "resilient/rebalance",
+                    superstep=superstep,
+                    stragglers=sorted(factors),
+                ):
+                    new_w = supervisor.degraded_weights(w)
+                    if self.monitor is not None:
+                        supervisor.apply_to_monitor(self.monitor, self.cluster)
+                    new_partition = self.partitioner.partition(
+                        graph, self.cluster.num_machines, weights=new_w
+                    )
+                    new_trace = application.execute(
+                        DistributedGraph(new_partition)
+                    )
+                    cost = self._migration_seconds(partition, new_partition)
+                    spliced["partition"] = new_partition
+                    spliced["trace"] = new_trace
+                    return new_trace, cost
 
         report = simulate_resilient_execution(
             trace,

@@ -30,6 +30,7 @@ from repro.engine.distributed_graph import DistributedGraph
 from repro.engine.trace import ExecutionTrace, MachinePhase, SuperstepTrace
 from repro.engine.vertex_program import SyncVertexProgram
 from repro.errors import ConvergenceError, EngineError
+from repro.obs import context as obs
 
 __all__ = ["SyncEngine"]
 
@@ -72,12 +73,30 @@ class SyncEngine:
         trace = ExecutionTrace(app=program.name, num_machines=m)
         masters_per_machine = [dgraph.masters_on(i) for i in range(m)]
 
+        run_span = obs.span(
+            "engine/run",
+            app=program.name,
+            machines=m,
+            vertices=n,
+            edges=graph.num_edges,
+        )
+        if obs.is_enabled():
+            obs.gauge_set(
+                "engine.replication_factor",
+                dgraph.replication_factor,
+                app=program.name,
+            )
+
         superstep = 0
         while np.any(active) and superstep < program.max_supersteps:
+            step_span = obs.span(
+                "superstep", index=superstep, app=program.name
+            )
             acc = np.full(n, _ACC_INIT[program.accumulator], dtype=np.float64)
             has_message = np.zeros(n, dtype=bool)
             edge_ops = np.zeros(m, dtype=np.float64)
 
+            gather_span = obs.span("gather")
             for i in range(m):
                 ls, ld = dgraph.local_src[i], dgraph.local_dst[i]
                 edge_ops[i] += self._gather(
@@ -87,22 +106,37 @@ class SyncEngine:
                     edge_ops[i] += self._gather(
                         program, graph, values, ld, ls, active, acc, has_message
                     )
+            if obs.is_enabled():
+                gather_span.set(
+                    edge_ops=edge_ops.tolist(),
+                    active_vertices=int(np.count_nonzero(active)),
+                )
+            gather_span.close()
 
+            apply_span = obs.span("apply")
             new_values, new_active = program.apply(graph, values, acc, has_message)
             new_values = np.asarray(new_values, dtype=np.float64)
             new_active = np.asarray(new_active, dtype=bool)
             if new_values.shape != (n,) or new_active.shape != (n,):
                 raise EngineError("apply must return per-vertex arrays")
+            apply_span.close()
 
             # Accounting: gather edge ops per machine; apply vertex ops on
             # each vertex's master; mirror sync for vertices that changed
             # hands this superstep (the applied frontier).
+            sync_span = obs.span("sync")
             applied = has_message | active
             vertex_ops = np.array(
                 [np.count_nonzero(applied[mst]) for mst in masters_per_machine],
                 dtype=np.float64,
             )
             comm = dgraph.sync_bytes(applied, program.cost.value_bytes)
+            if obs.is_enabled():
+                sync_span.set(
+                    comm_bytes=comm.tolist(),
+                    vertex_ops=vertex_ops.tolist(),
+                )
+            sync_span.close()
 
             phases: List[MachinePhase] = []
             for i in range(m):
@@ -120,10 +154,28 @@ class SyncEngine:
                 )
             )
 
+            if obs.is_enabled():
+                obs.counter_add(
+                    "engine.edge_ops", float(edge_ops.sum()), app=program.name
+                )
+                obs.counter_add(
+                    "engine.vertex_ops",
+                    float(vertex_ops.sum()),
+                    app=program.name,
+                )
+                obs.counter_add(
+                    "engine.sync_bytes", float(comm.sum()), app=program.name
+                )
+                obs.counter_add("engine.supersteps", 1.0, app=program.name)
+            step_span.close()
+
             values, active = new_values, new_active
             superstep += 1
 
         converged = not bool(np.any(active))
+        if obs.is_enabled():
+            run_span.set(supersteps=superstep, converged=converged)
+        run_span.close()
         if not converged and self.strict:
             raise ConvergenceError(
                 f"{program.name} did not converge within "

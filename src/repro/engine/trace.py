@@ -10,6 +10,7 @@ same execution on many machine types (CCR profiling, cost studies) cheap.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
@@ -17,6 +18,24 @@ from repro.cluster.perfmodel import WorkProfile
 from repro.errors import EngineError
 
 __all__ = ["MachinePhase", "SuperstepTrace", "ExecutionTrace"]
+
+#: Bump when the serialized layout changes; readers reject other versions.
+TRACE_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Plain JSON types from result values (numpy arrays and scalars)."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 @dataclass(frozen=True)
@@ -102,3 +121,82 @@ class ExecutionTrace:
         return float(
             sum(p.comm_bytes for s in self.supersteps for p in s.phases)
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (golden-trace fixtures, run artifacts)
+    # ------------------------------------------------------------------ #
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-dict form of the full trace, losslessly round-trippable.
+
+        Floats serialize through Python's shortest-roundtrip ``repr``, so
+        equal traces produce byte-identical canonical JSON — the property
+        the golden-trace regression tests and the observability inertness
+        test rely on.  Result arrays come back as lists.
+        """
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "app": self.app,
+            "num_machines": self.num_machines,
+            "supersteps": [
+                {
+                    "label": step.label,
+                    "sync_rounds": step.sync_rounds,
+                    "phases": [
+                        {
+                            "work": {
+                                "flops": p.work.flops,
+                                "serial_flops": p.work.serial_flops,
+                                "streaming_bytes": p.work.streaming_bytes,
+                                "cacheable_bytes": p.work.cacheable_bytes,
+                                "working_set_mb": p.work.working_set_mb,
+                            },
+                            "comm_bytes": p.comm_bytes,
+                        }
+                        for p in step.phases
+                    ],
+                }
+                for step in self.supersteps
+            ],
+            "result": _jsonable(self.result),
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic single-line JSON (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "ExecutionTrace":
+        """Rebuild a trace written by :meth:`to_jsonable`.
+
+        Result arrays stay plain lists (the engine never re-consumes a
+        deserialized result; reports copy it verbatim).
+        """
+        version = data.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise EngineError(
+                f"trace format {version!r} is not supported "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        trace = cls(
+            app=data["app"],
+            num_machines=int(data["num_machines"]),
+            result=dict(data.get("result", {})),
+        )
+        for step in data.get("supersteps", []):
+            trace.append(
+                SuperstepTrace(
+                    phases=[
+                        MachinePhase(
+                            work=WorkProfile(**p["work"]),
+                            comm_bytes=p["comm_bytes"],
+                        )
+                        for p in step["phases"]
+                    ],
+                    sync_rounds=int(step.get("sync_rounds", 2)),
+                    label=step.get("label", ""),
+                )
+            )
+        return trace

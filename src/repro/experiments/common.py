@@ -25,12 +25,14 @@ small server for Cases 2 and 3.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro._version import __version__
 from repro.cluster.catalog import get_machine, tiny_server, xeon_large, xeon_small
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import MachineSpec
 from repro.cluster.perfmodel import PerformanceModel
+from repro.obs import context as obs
 
 __all__ = [
     "DEFAULT_SCALE",
@@ -46,6 +48,8 @@ __all__ = [
     "case2_machines",
     "case3_machines",
     "proxy_vertices_for_scale",
+    "experiment_provenance",
+    "attach_provenance",
 ]
 
 #: Fraction of the paper-scale graphs used by default (fits one core).
@@ -87,6 +91,39 @@ TWO_MACHINE_PARTITIONERS: Tuple[str, ...] = (
     "hybrid",
     "ginger",
 )
+
+
+def experiment_provenance(
+    experiment: str, scale: Optional[float] = None, **params: Any
+) -> Dict[str, Any]:
+    """Provenance record for one figure/table regeneration.
+
+    Everything that determines the numbers: experiment name, library
+    version, graph scale, and the experiment-specific parameters.  No
+    wall-clock timestamp — runs are deterministic and the record should
+    be too.
+    """
+    prov: Dict[str, Any] = {
+        "experiment": experiment,
+        "repro_version": __version__,
+    }
+    if scale is not None:
+        prov["scale"] = scale
+    prov.update(params)
+    return prov
+
+
+def attach_provenance(result, experiment: str, scale=None, **params):
+    """Stamp ``result.provenance`` and mirror it into the span stream.
+
+    Every ``run_*`` entry point routes its return value through here, so
+    a figure regenerated under ``repro experiment --obs-dir`` (or any
+    installed observer) carries the configuration that produced it.
+    """
+    prov = experiment_provenance(experiment, scale=scale, **params)
+    result.provenance = prov
+    obs.event("experiment/provenance", **prov)
+    return result
 
 
 def make_perf(scale: float) -> PerformanceModel:

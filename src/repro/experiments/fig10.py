@@ -40,6 +40,7 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     REAL_GRAPHS,
     TWO_MACHINE_PARTITIONERS,
+    attach_provenance,
     case2_cluster,
     case3_cluster,
     proxy_vertices_for_scale,
@@ -146,8 +147,17 @@ def run_case2(
     seed: int = 10,
 ) -> Fig10Result:
     """Fig. 10a: different thread counts, same frequency range."""
-    return _run_case(
+    result = _run_case(
         "case2", case2_cluster(scale), scale, apps, graphs, algorithms, seed
+    )
+    return attach_provenance(
+        result,
+        "fig10_case2",
+        scale=scale,
+        apps=list(apps),
+        graphs=list(graphs),
+        algorithms=list(algorithms),
+        seed=seed,
     )
 
 
@@ -159,8 +169,17 @@ def run_case3(
     seed: int = 10,
 ) -> Fig10Result:
     """Fig. 10b: thread counts *and* frequency ranges differ."""
-    return _run_case(
+    result = _run_case(
         "case3", case3_cluster(scale), scale, apps, graphs, algorithms, seed
+    )
+    return attach_provenance(
+        result,
+        "fig10_case3",
+        scale=scale,
+        apps=list(apps),
+        graphs=list(graphs),
+        algorithms=list(algorithms),
+        seed=seed,
     )
 
 

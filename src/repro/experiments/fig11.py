@@ -22,6 +22,7 @@ from repro.core.cost import CostPoint, cost_efficiency, pareto_front
 from repro.core.proxy import ProxySet
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    attach_provenance,
     make_perf,
     proxy_vertices_for_scale,
 )
@@ -88,4 +89,11 @@ def run_fig11(
     points = cost_efficiency(
         specs, template, apps=apps, proxies=proxies, baseline=baseline
     )
-    return Fig11Result(points=points)
+    return attach_provenance(
+        Fig11Result(points=points),
+        "fig11",
+        scale=scale,
+        apps=list(apps),
+        machines=list(machines),
+        baseline=baseline,
+    )

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.registry import DEFAULT_APPS
-from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.common import DEFAULT_SCALE, attach_provenance
 from repro.experiments.fig8 import Fig8Result, run_fig8a
 
 __all__ = ["Fig2Result", "run_fig2"]
@@ -63,8 +63,11 @@ def run_fig2(
 ) -> Fig2Result:
     """Measure real per-application scaling against the thread estimate."""
     ladder: Fig8Result = run_fig8a(scale=scale, apps=apps, seed=seed)
-    return Fig2Result(
+    result = Fig2Result(
         machines=ladder.machines,
         prior_estimate=ladder.apps[0].prior,
         real_speedups={a.app: a.real for a in ladder.apps},
+    )
+    return attach_provenance(
+        result, "fig2", scale=scale, apps=list(apps), seed=seed
     )

@@ -16,6 +16,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.experiments.common import attach_provenance
 from repro.graph.properties import degree_distribution
 from repro.powerlaw.generator import generate_power_law_graph
 from repro.powerlaw.validation import validate_power_law
@@ -56,11 +57,14 @@ def run_fig6(
     )
     degrees, probs = degree_distribution(graph, kind="out")
     fit = validate_power_law(graph, kind="out")
-    return Fig6Result(
+    result = Fig6Result(
         alpha_requested=alpha,
         alpha_fit_moment=fit.alpha_moment,
         alpha_fit_ccdf=fit.alpha_slope,
         r_squared=fit.r_squared,
         degrees=tuple(int(d) for d in degrees),
         probabilities=tuple(float(p) for p in probs),
+    )
+    return attach_provenance(
+        result, "fig6", num_vertices=num_vertices, alpha=alpha, seed=seed
     )

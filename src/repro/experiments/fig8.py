@@ -30,9 +30,11 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     REAL_GRAPHS,
     SAME_THREAD_CATEGORIES,
+    attach_provenance,
     make_perf,
     proxy_vertices_for_scale,
 )
+from repro.obs import context as obs
 
 __all__ = ["AppAccuracy", "Fig8Result", "machine_speedups", "run_fig8a", "run_fig8b"]
 
@@ -142,15 +144,27 @@ def _run_ladder(
             [machine_speedups(app, g, machine_names, perf) for g in proxy_graphs],
             axis=0,
         )
-        result.apps.append(
-            AppAccuracy(
-                app=app,
-                machines=tuple(machine_names),
-                real=tuple(real),
-                proxy=tuple(proxy),
-                prior=prior,
-            )
+        acc = AppAccuracy(
+            app=app,
+            machines=tuple(machine_names),
+            real=tuple(real),
+            proxy=tuple(proxy),
+            prior=prior,
         )
+        result.apps.append(acc)
+        if obs.is_enabled():
+            obs.histogram_record(
+                "ccr.estimation_error_pct",
+                acc.proxy_error_pct(),
+                app=app,
+                source="proxy",
+            )
+            obs.histogram_record(
+                "ccr.estimation_error_pct",
+                acc.prior_error_pct(),
+                app=app,
+                source="prior",
+            )
     return result
 
 
@@ -160,7 +174,10 @@ def run_fig8a(
     seed: int = 100,
 ) -> Fig8Result:
     """CCR accuracy across the c4 machine ladder (Fig. 8a)."""
-    return _run_ladder(C4_FAMILY, scale, apps, seed)
+    result = _run_ladder(C4_FAMILY, scale, apps, seed)
+    return attach_provenance(
+        result, "fig8a", scale=scale, apps=list(apps), seed=seed
+    )
 
 
 def run_fig8b(
@@ -169,4 +186,7 @@ def run_fig8b(
     seed: int = 100,
 ) -> Fig8Result:
     """CCR accuracy across same-thread categories (Fig. 8b)."""
-    return _run_ladder(SAME_THREAD_CATEGORIES, scale, apps, seed)
+    result = _run_ladder(SAME_THREAD_CATEGORIES, scale, apps, seed)
+    return attach_provenance(
+        result, "fig8b", scale=scale, apps=list(apps), seed=seed
+    )

@@ -31,6 +31,7 @@ from repro.experiments.common import (
     CASE1_PARTITIONERS,
     DEFAULT_SCALE,
     REAL_GRAPHS,
+    attach_provenance,
     case1_cluster,
     proxy_vertices_for_scale,
 )
@@ -127,4 +128,12 @@ def run_fig9(
                         ccr_runtime=ccr,
                     )
                 )
-    return result
+    return attach_provenance(
+        result,
+        "fig9",
+        scale=scale,
+        apps=list(apps),
+        graphs=list(graphs),
+        algorithms=list(algorithms),
+        seed=seed,
+    )

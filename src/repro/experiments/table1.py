@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.cluster.catalog import CATALOG
+from repro.experiments.common import attach_provenance
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -67,4 +68,4 @@ def run_table1() -> Table1Result:
                 m.llc_mb,
             )
         )
-    return Table1Result(rows_list=rows)
+    return attach_provenance(Table1Result(rows_list=rows), "table1")

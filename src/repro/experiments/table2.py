@@ -15,7 +15,7 @@ from typing import List
 from repro.graph.datasets import DATASETS, load_dataset, resolve_alpha
 from repro.graph.properties import graph_summary
 from repro.powerlaw.validation import fit_alpha_from_graph
-from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.common import DEFAULT_SCALE, attach_provenance
 
 __all__ = ["Table2Row", "Table2Result", "run_table2"]
 
@@ -79,4 +79,6 @@ def run_table2(scale: float = DEFAULT_SCALE) -> Table2Result:
                 alpha_measured=fit_alpha_from_graph(graph),
             )
         )
-    return Table2Result(scale=scale, rows_list=rows)
+    return attach_provenance(
+        Table2Result(scale=scale, rows_list=rows), "table2", scale=scale
+    )

@@ -1,0 +1,131 @@
+"""The observation context: one Observer, installed for the duration.
+
+Observability is strictly opt-in.  By default no observer is installed
+and every helper below is a cheap no-op — one module attribute read and
+a ``None`` check — so instrumented hot paths (per-chunk partitioning,
+per-superstep engine work) pay nothing measurable when dark.  Installing
+an observer only *records* values the computation already produced; it
+never feeds anything back, which is the zero-perturbation contract the
+differential test (tests/test_obs_inert.py) enforces byte-for-byte.
+
+Usage::
+
+    from repro.obs import Observer, enabled
+
+    observer = Observer()
+    with enabled(observer):
+        system.process("pagerank", graph)
+    observer.metrics.counters["engine.edge_ops"]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, Tracer
+
+__all__ = [
+    "Observer",
+    "current",
+    "enabled",
+    "is_enabled",
+    "span",
+    "event",
+    "counter_add",
+    "gauge_set",
+    "histogram_record",
+]
+
+
+class Observer:
+    """A tracer plus a metrics registry for one observed run."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+
+#: The installed observer; ``None`` means observability is off.
+_current: Optional[Observer] = None
+
+
+def current() -> Optional[Observer]:
+    """The installed observer, or ``None`` when observability is off."""
+    return _current
+
+
+def is_enabled() -> bool:
+    return _current is not None
+
+
+@contextmanager
+def enabled(observer: Observer):
+    """Install ``observer`` for the duration of the block (re-entrant)."""
+    global _current
+    previous = _current
+    _current = observer
+    try:
+        yield observer
+    finally:
+        _current = previous
+
+
+class _NullSpan:
+    """Reusable no-op stand-in for a span handle."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed observer; no-op context when dark."""
+    o = _current
+    if o is None:
+        return _NULL_SPAN
+    return o.tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> Optional[Span]:
+    """Record a zero-duration event; returns ``None`` when dark."""
+    o = _current
+    if o is None:
+        return None
+    return o.tracer.event(name, **attrs)
+
+
+def counter_add(name: str, amount: float, **labels: Any) -> None:
+    o = _current
+    if o is not None:
+        o.metrics.counter(name, **labels).add(amount)
+
+
+def gauge_set(name: str, value: float, **labels: Any) -> None:
+    o = _current
+    if o is not None:
+        o.metrics.gauge(name, **labels).set(value)
+
+
+def histogram_record(name: str, value: float, **labels: Any) -> None:
+    o = _current
+    if o is not None:
+        o.metrics.histogram(name, **labels).record(value)

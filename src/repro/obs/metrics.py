@@ -1,0 +1,175 @@
+"""Metrics registry: counters, gauges, histograms, and exporters.
+
+A metric is identified by its name plus a (sorted) label set, mirroring
+the Prometheus data model at a fraction of the machinery:
+
+* **Counter** — monotonically accumulating float (edge ops, sync bytes).
+* **Gauge**   — last-write-wins value (replication factor, CCR weight).
+* **Histogram** — full observation list with summary statistics
+  (straggler slack per barrier, per-chunk balance).  Runs here are small
+  enough that keeping raw observations beats premature bucketing, and it
+  is what lets ``repro metrics --diff`` compare percentiles exactly.
+
+Everything is plain Python floats; recording is side-effect-free with
+respect to the instrumented computation (the zero-perturbation contract
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical string key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonic accumulator."""
+
+    value: float = 0.0
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += float(amount)
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Raw observation list with derived summary statistics."""
+
+    observations: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.observations))
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (q in [0, 100]); 0.0 when empty."""
+        if not self.observations:
+            return 0.0
+        data = sorted(self.observations)
+        rank = max(0, min(len(data) - 1, round(q / 100.0 * (len(data) - 1))))
+        return data[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.observations:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.observations),
+            "max": max(self.observations),
+            "mean": self.total / self.count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Owns every metric of one observed run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -------------------------------------------------------------- #
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram()
+        return self._histograms[key]
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return {k: c.value for k, c in sorted(self._counters.items())}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {k: g.value for k, g in sorted(self._gauges.items())}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": {
+                k: h.summary() for k, h in self.histograms.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent, sort_keys=True)
+
+    def flat(self) -> Dict[str, float]:
+        """One scalar per metric: counters/gauges as-is, histogram sums.
+
+        This is the view ``repro metrics --diff`` aligns across runs.
+        """
+        out: Dict[str, float] = {}
+        out.update(self.counters)
+        out.update(self.gauges)
+        for k, h in self.histograms.items():
+            out[f"{k}.sum"] = h.total
+            out[f"{k}.count"] = float(h.count)
+        return out
+
+
+def flatten_jsonable(metrics: Dict[str, Any]) -> List[Tuple[str, str, float]]:
+    """(kind, key, scalar) rows from an exported metrics dict."""
+    rows: List[Tuple[str, str, float]] = []
+    for key, value in sorted(metrics.get("counters", {}).items()):
+        rows.append(("counter", key, float(value)))
+    for key, value in sorted(metrics.get("gauges", {}).items()):
+        rows.append(("gauge", key, float(value)))
+    for key, summ in sorted(metrics.get("histograms", {}).items()):
+        rows.append(("histogram", f"{key}.count", float(summ["count"])))
+        rows.append(("histogram", f"{key}.sum", float(summ["sum"])))
+    return rows

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import PartitionError
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 from repro.utils.validation import check_array_1d
 
 __all__ = ["PartitionResult", "Partitioner", "normalize_weights"]
@@ -134,14 +135,43 @@ class Partitioner(abc.ABC):
         if num_machines < 1:
             raise PartitionError("num_machines must be >= 1")
         w = normalize_weights(weights, num_machines)
-        assignment = self._assign(graph, num_machines, w)
-        return PartitionResult(
+        with obs.span(
+            f"partition/{self.name}",
+            algorithm=self.name,
+            edges=graph.num_edges,
+            vertices=graph.num_vertices,
+            machines=num_machines,
+            seed=self.seed,
+        ) as span:
+            assignment = self._assign(graph, num_machines, w)
+        result = PartitionResult(
             graph=graph,
             assignment=assignment,
             num_machines=num_machines,
             algorithm=self.name,
             weights=w,
         )
+        if obs.is_enabled():
+            counts = result.edges_per_machine()
+            obs.counter_add(
+                "partition.edges_assigned",
+                float(counts.sum()),
+                algorithm=self.name,
+            )
+            if counts.sum() > 0:
+                shares = counts / counts.sum()
+                # Worst overload relative to the target weight vector: 1.0
+                # is a perfectly weighted split.
+                obs.gauge_set(
+                    "partition.max_share_over_target",
+                    float(np.max(shares / result.weights)),
+                    algorithm=self.name,
+                )
+            span.set(
+                weights=result.weights.tolist(),
+                edges_per_machine=counts.tolist(),
+            )
+        return result
 
     @abc.abstractmethod
     def _assign(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 from repro.partition.base import Partitioner
 from repro.partition.hybrid import DEFAULT_DEGREE_THRESHOLD, HybridPartitioner
 
@@ -106,6 +107,11 @@ class GingerPartitioner(Partitioner):
         chunk_size = max(32, min(self.chunk_size, order.size // 16))
         for start in range(0, order.size, chunk_size):
             chunk = order[start : start + chunk_size]
+            chunk_span = obs.span(
+                "partition/ginger/chunk",
+                start=start,
+                vertices=int(chunk.size),
+            )
             # Per-(vertex, machine) in-neighbour co-location counts.
             degs = in_indptr[chunk + 1] - in_indptr[chunk]
             rows = np.repeat(np.arange(chunk.size), degs)
@@ -148,5 +154,12 @@ class GingerPartitioner(Partitioner):
                     edge_count[new] += eids.size
                     vertex_count[old] -= 1
                     vertex_count[new] += 1
+            if obs.is_enabled():
+                chunk_span.set(moved=int(np.count_nonzero(moved)))
+                obs.counter_add(
+                    "partition.ginger_moved_vertices",
+                    float(np.count_nonzero(moved)),
+                )
+            chunk_span.close()
 
         return assignment

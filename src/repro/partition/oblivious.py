@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
 from repro.partition.base import Partitioner
 from repro.utils.rng import hash_edges
 
@@ -78,6 +79,9 @@ class ObliviousPartitioner(Partitioner):
         total_weight_edges = max(1, n_edges)
         for start in range(0, n_edges, self.chunk_size):
             stop = min(start + self.chunk_size, n_edges)
+            chunk_span = obs.span(
+                "partition/oblivious/chunk", start=start, stop=stop
+            )
             cu = src[start:stop]
             cv = dst[start:stop]
 
@@ -120,5 +124,8 @@ class ObliviousPartitioner(Partitioner):
             placement[cu, choice] = True
             placement[cv, choice] = True
             load += np.bincount(choice, minlength=m)
+            if obs.is_enabled():
+                chunk_span.set(load=load.tolist())
+            chunk_span.close()
 
         return assignment

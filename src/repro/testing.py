@@ -1,0 +1,90 @@
+"""Deterministic reference runs shared by tests and regen scripts.
+
+The golden-trace regression suite (``tests/test_golden_traces.py``) and
+the fixture regenerator (``scripts/regen_golden_traces.py``) must agree on
+one recipe, or the fixtures silently drift from what the test executes.
+That recipe lives here: one fixed seeded proxy graph, one two-machine
+heterogeneous cluster, one partitioner configuration.
+
+Nothing here is part of the simulation — it is test infrastructure that
+happens to need importing from two places.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import DEFAULT_APPS, make_app
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.cluster.perfmodel import PerformanceModel
+from repro.engine.runtime import GraphProcessingSystem, RunOutcome
+from repro.engine.trace import ExecutionTrace
+from repro.graph.digraph import DiGraph
+from repro.partition import make_partitioner
+from repro.powerlaw.generator import generate_power_law_graph
+
+__all__ = [
+    "GOLDEN_APPS",
+    "GOLDEN_GRAPH_VERTICES",
+    "GOLDEN_GRAPH_ALPHA",
+    "GOLDEN_GRAPH_SEED",
+    "GOLDEN_WEIGHTS",
+    "GOLDEN_PARTITIONER",
+    "GOLDEN_PARTITIONER_SEED",
+    "golden_graph",
+    "golden_cluster",
+    "golden_run",
+    "golden_trace",
+]
+
+#: The four paper applications, in evaluation order.
+GOLDEN_APPS = DEFAULT_APPS
+
+#: Proxy-graph recipe: small enough to run in milliseconds, skewed enough
+#: to exercise the hub/mirror paths.
+GOLDEN_GRAPH_VERTICES = 1200
+GOLDEN_GRAPH_ALPHA = 2.1
+GOLDEN_GRAPH_SEED = 1234
+
+#: Deliberately non-uniform so weight handling is part of the contract.
+GOLDEN_WEIGHTS = (1.0, 2.0)
+
+GOLDEN_PARTITIONER = "hybrid"
+GOLDEN_PARTITIONER_SEED = 7
+
+
+def golden_graph() -> DiGraph:
+    """The fixed seeded proxy graph every golden fixture derives from."""
+    return generate_power_law_graph(
+        num_vertices=GOLDEN_GRAPH_VERTICES,
+        alpha=GOLDEN_GRAPH_ALPHA,
+        seed=GOLDEN_GRAPH_SEED,
+    )
+
+
+def golden_cluster() -> Cluster:
+    """A 1:2 heterogeneous pair (slot order matters to the trace)."""
+    slow = MachineSpec(
+        "golden_slow", hw_threads=4, freq_ghz=2.0, mem_bw_gbs=8.0, llc_mb=4.0
+    )
+    fast = MachineSpec(
+        "golden_fast", hw_threads=6, freq_ghz=4.0, mem_bw_gbs=16.0, llc_mb=8.0
+    )
+    return Cluster([slow, fast], perf=PerformanceModel(model_scale=0.01))
+
+
+def golden_run(app_name: str, graph: DiGraph = None) -> RunOutcome:
+    """One full reference run of ``app_name`` on the golden configuration."""
+    if graph is None:
+        graph = golden_graph()
+    system = GraphProcessingSystem(golden_cluster())
+    partitioner = make_partitioner(
+        GOLDEN_PARTITIONER, seed=GOLDEN_PARTITIONER_SEED
+    )
+    return system.run(
+        make_app(app_name), graph, partitioner, weights=GOLDEN_WEIGHTS
+    )
+
+
+def golden_trace(app_name: str, graph: DiGraph = None) -> ExecutionTrace:
+    """The reference :class:`ExecutionTrace` for one application."""
+    return golden_run(app_name, graph=graph).trace

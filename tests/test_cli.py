@@ -201,3 +201,98 @@ class TestExperiment:
         assert main(["experiment", "fig2", "--scale", "0.0015"]) == 0
         out = capsys.readouterr().out
         assert "prior_estimate" in out
+
+    def test_obs_dir_records_provenance(self, tmp_path, capsys):
+        from repro.obs import load_run_artifacts
+
+        run_dir = tmp_path / "obs"
+        assert main(["experiment", "fig6", "--obs-dir", str(run_dir)]) == 0
+        run = load_run_artifacts(str(run_dir))
+        assert run.config.get("experiment") == "fig6"
+        assert "experiment/provenance" in run.span_names()
+
+
+class TestObservability:
+    """`repro process --obs-dir` and the `repro metrics` subcommand."""
+
+    @staticmethod
+    def _process(run_dir, app="pagerank", extra=()):
+        return main(
+            ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+             "--app", app, "--dataset", "wiki", "--scale", "0.002",
+             "--obs-dir", str(run_dir), *extra]
+        )
+
+    def test_process_writes_run_artifacts(self, tmp_path, capsys):
+        from repro.obs import load_run_artifacts
+
+        run_dir = tmp_path / "run"
+        assert self._process(run_dir) == 0
+        out = capsys.readouterr().out
+        assert "observability" in out
+
+        run = load_run_artifacts(str(run_dir))
+        names = run.span_names()
+        assert "engine/run" in names
+        assert "superstep" in names
+        assert any(k.startswith("partition/") for k in names)
+        assert run.trace is not None and run.trace["app"] == "pagerank"
+        assert run.config["app"] == "pagerank"
+        assert any(
+            k.startswith("engine.edge_ops") for k in run.metrics["counters"]
+        )
+
+    def test_obs_does_not_change_output(self, tmp_path, capsys):
+        args = ["process", "--cluster", "c4.xlarge,c4.2xlarge",
+                "--app", "pagerank", "--dataset", "wiki", "--scale", "0.002"]
+        assert main(args) == 0
+        dark = capsys.readouterr().out
+        assert main(args + ["--obs-dir", str(tmp_path / "run")]) == 0
+        lit = capsys.readouterr().out
+        # Identical except for the trailing artifact pointer line.
+        lit_lines = [l for l in lit.splitlines() if "observability" not in l]
+        assert lit_lines == dark.splitlines()
+
+    def test_metrics_summarize(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._process(run_dir) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "section" in out
+        assert "engine.supersteps" in out
+
+    def test_metrics_diff(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert self._process(a, app="pagerank") == 0
+        assert self._process(b, app="connected_components") == 0
+        capsys.readouterr()
+        assert main(["metrics", str(a), "--diff", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "-" in out
+
+    def test_metrics_rejects_non_run_dir(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="manifest"):
+            main(["metrics", str(tmp_path)])
+
+    def test_faulted_process_with_obs(self, tmp_path, capsys):
+        from repro.faults.schedule import CrashFault, FaultSchedule
+        from repro.obs import load_run_artifacts
+
+        sched = tmp_path / "crash.json"
+        FaultSchedule(crashes=(CrashFault(superstep=2, machine=0),),
+                      seed=3).save(sched)
+        run_dir = tmp_path / "run"
+        assert self._process(
+            run_dir, extra=["--fault-schedule", str(sched)]
+        ) == 0
+        run = load_run_artifacts(str(run_dir))
+        names = run.span_names()
+        assert "resilience/price" in names
+        assert "resilience/crash" in names
+        assert any(
+            k.startswith("resilience.crashes")
+            for k in run.metrics["counters"]
+        )

@@ -1,0 +1,71 @@
+"""Golden-trace regression suite.
+
+Each fixture under ``tests/golden/`` is the canonical JSON of one
+application's :class:`~repro.engine.trace.ExecutionTrace` on the fixed
+golden configuration (see :mod:`repro.testing`).  Any drift in engine
+semantics — partition placement, gather/apply work counting, sync volume,
+convergence, result values — changes the bytes and fails here loudly.
+
+If a change is *intentional*, regenerate with:
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+and justify the refresh in the commit message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.engine.trace import ExecutionTrace
+from repro.errors import EngineError
+from repro.testing import GOLDEN_APPS, golden_graph, golden_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+REGEN_HINT = (
+    "Golden trace drifted for {app!r}.\n"
+    "The engine now produces different work/communication/results on the "
+    "fixed golden configuration.\n"
+    "If this change is intentional, refresh the fixtures with:\n"
+    "    PYTHONPATH=src python scripts/regen_golden_traces.py\n"
+    "and explain the semantic change in the commit message."
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return golden_graph()
+
+
+@pytest.mark.parametrize("app", GOLDEN_APPS)
+class TestGoldenTraces:
+    def test_fixture_exists(self, app, graph):
+        path = GOLDEN_DIR / f"{app}.trace.json"
+        assert path.exists(), (
+            f"missing golden fixture {path.name}; generate it with "
+            "scripts/regen_golden_traces.py"
+        )
+
+    def test_trace_matches_fixture_bytes(self, app, graph):
+        path = GOLDEN_DIR / f"{app}.trace.json"
+        expected = path.read_text().rstrip("\n")
+        actual = golden_trace(app, graph=graph).canonical_json()
+        assert actual == expected, REGEN_HINT.format(app=app)
+
+    def test_fixture_round_trips(self, app, graph):
+        """Deserialising a fixture reproduces its bytes exactly."""
+        raw = (GOLDEN_DIR / f"{app}.trace.json").read_text().rstrip("\n")
+        trace = ExecutionTrace.from_jsonable(json.loads(raw))
+        assert trace.canonical_json() == raw
+        assert trace.app == app
+        assert trace.num_machines == 2
+        assert trace.num_supersteps > 0
+
+
+def test_unknown_format_version_rejected():
+    with pytest.raises(EngineError, match="format"):
+        ExecutionTrace.from_jsonable(
+            {"format_version": 999, "app": "x", "num_machines": 1}
+        )

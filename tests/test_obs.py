@@ -1,0 +1,266 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    ARTIFACT_FORMAT_VERSION,
+    Histogram,
+    MetricsRegistry,
+    Observer,
+    SimulatedClock,
+    Tracer,
+    counter_add,
+    current,
+    diff_runs,
+    enabled,
+    event,
+    gauge_set,
+    histogram_record,
+    is_enabled,
+    load_run_artifacts,
+    span,
+    summarize_run,
+    write_run_artifacts,
+)
+from repro.obs.context import _NULL_SPAN
+from repro.obs.metrics import flatten_jsonable, metric_key
+
+# ---------------------------------------------------------------------- #
+# Spans and the simulated clock
+# ---------------------------------------------------------------------- #
+
+
+class TestTracer:
+    def test_clock_is_monotonic(self):
+        clock = SimulatedClock()
+        ticks = [clock.advance() for _ in range(5)]
+        assert ticks == [1, 2, 3, 4, 5]
+        assert clock.ticks == 5
+
+    def test_span_nesting_builds_a_forest(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner"):
+                t.event("leaf")
+        inner, leaf = t.named("inner")[0], t.named("leaf")[0]
+        assert inner.parent_id == outer.span.span_id
+        assert leaf.parent_id == inner.span_id
+        assert t.named("outer")[0].parent_id is None
+        assert [c.name for c in t.children_of(outer.span)] == ["inner"]
+
+    def test_spans_close_in_order(self):
+        t = Tracer()
+        with t.span("a") as a:
+            with t.span("b") as b:
+                pass
+        assert not a.span.is_open and not b.span.is_open
+        assert a.span.start_tick < b.span.start_tick
+        assert b.span.end_tick < a.span.end_tick
+
+    def test_end_pops_unclosed_children(self):
+        t = Tracer()
+        outer = t.span("outer")
+        t.span("orphan")  # never closed explicitly
+        outer.close()
+        assert all(not s.is_open for s in t.spans)
+
+    def test_close_is_idempotent(self):
+        t = Tracer()
+        h = t.span("once")
+        h.close()
+        end = h.span.end_tick
+        h.close()
+        assert h.span.end_tick == end
+
+    def test_event_is_zero_duration(self):
+        t = Tracer()
+        e = t.event("tick", value=3)
+        assert e.start_tick == e.end_tick
+        assert e.attributes == {"value": 3}
+
+    def test_to_jsonable_coerces_numpy(self):
+        t = Tracer()
+        with t.span("s", arr=np.array([1, 2]), scalar=np.float64(1.5)):
+            pass
+        data = t.spans[0].to_jsonable()
+        assert data["attributes"] == {"arr": [1, 2], "scalar": 1.5}
+        json.dumps(data)  # fully serialisable
+
+
+# ---------------------------------------------------------------------- #
+# Metrics
+# ---------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("m", {}) == "m"
+        assert metric_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", app="pr").add(2)
+        reg.counter("ops", app="pr").add(3)
+        assert reg.counters == {"ops{app=pr}": 5.0}
+        with pytest.raises(ValueError, match="increase"):
+            reg.counter("ops", app="pr").add(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("rf").set(1.5)
+        reg.gauge("rf").set(2.5)
+        assert reg.gauges == {"rf": 2.5}
+
+    def test_histogram_summary_and_percentiles(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0, 10.0]:
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == 5 and s["sum"] == 20.0
+        assert s["min"] == 1.0 and s["max"] == 10.0
+        assert s["p50"] == 3.0
+        assert h.percentile(100) == 10.0
+
+    def test_empty_histogram_summary(self):
+        assert Histogram().summary()["count"] == 0
+        assert Histogram().percentile(95) == 0.0
+
+    def test_flat_and_flatten_agree(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(1)
+        reg.gauge("g").set(2)
+        reg.histogram("h").record(3)
+        flat = reg.flat()
+        assert flat == {"c": 1.0, "g": 2.0, "h.sum": 3.0, "h.count": 1.0}
+        rows = flatten_jsonable(reg.to_jsonable())
+        assert ("counter", "c", 1.0) in rows
+        assert ("histogram", "h.sum", 3.0) in rows
+
+
+# ---------------------------------------------------------------------- #
+# Context: opt-in, no-op when dark
+# ---------------------------------------------------------------------- #
+
+
+class TestContext:
+    def test_dark_by_default(self):
+        assert current() is None
+        assert not is_enabled()
+        assert span("x") is _NULL_SPAN
+        assert event("x") is None
+        counter_add("c", 1)  # all silently ignored
+        gauge_set("g", 1)
+        histogram_record("h", 1)
+
+    def test_null_span_is_inert(self):
+        with span("dark") as s:
+            s.set(anything=1)
+        s.close()  # idempotent, no error
+
+    def test_enabled_installs_and_restores(self):
+        obs = Observer()
+        with enabled(obs):
+            assert current() is obs
+            with span("s", k=1):
+                counter_add("c", 2, app="x")
+        assert current() is None
+        assert obs.spans[0].name == "s"
+        assert obs.metrics.counters == {"c{app=x}": 2.0}
+
+    def test_enabled_is_reentrant(self):
+        outer, inner = Observer(), Observer()
+        with enabled(outer):
+            with enabled(inner):
+                event("in")
+            event("out")
+        assert [s.name for s in inner.spans] == ["in"]
+        assert [s.name for s in outer.spans] == ["out"]
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with enabled(Observer()):
+                raise RuntimeError("boom")
+        assert current() is None
+
+
+# ---------------------------------------------------------------------- #
+# Run artifacts
+# ---------------------------------------------------------------------- #
+
+
+def _observed_run() -> Observer:
+    obs = Observer()
+    with enabled(obs):
+        with span("work", phase="gather"):
+            counter_add("engine.edge_ops", 10, app="pagerank")
+            histogram_record("slack", 0.25)
+        gauge_set("rf", 1.8)
+    return obs
+
+
+class TestArtifacts:
+    def test_write_and_load_round_trip(self, tmp_path):
+        obs = _observed_run()
+        out = write_run_artifacts(
+            obs, str(tmp_path / "run"), config={"app": "pagerank"}
+        )
+        run = load_run_artifacts(out)
+        assert run.manifest["format_version"] == ARTIFACT_FORMAT_VERSION
+        assert run.manifest["num_spans"] == len(obs.spans)
+        assert run.config == {"app": "pagerank"}
+        assert run.span_names() == {"work": 1}
+        assert run.metrics["counters"] == {
+            "engine.edge_ops{app=pagerank}": 10.0
+        }
+        assert run.trace is None
+
+    def test_trace_artifact_persisted(self, tmp_path):
+        class FakeTrace:
+            def to_jsonable(self):
+                return {"app": "x", "format_version": 1}
+
+        out = write_run_artifacts(
+            _observed_run(), str(tmp_path / "run"), trace=FakeTrace()
+        )
+        run = load_run_artifacts(out)
+        assert run.trace == {"app": "x", "format_version": 1}
+        assert "trace.json" in run.manifest["artifacts"]
+
+    def test_load_rejects_non_run_dir(self, tmp_path):
+        with pytest.raises(ReproError, match="manifest"):
+            load_run_artifacts(str(tmp_path))
+
+    def test_load_rejects_future_format(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format_version": 999})
+        )
+        with pytest.raises(ReproError, match="format"):
+            load_run_artifacts(str(tmp_path))
+
+    def test_summarize_run_rows(self, tmp_path):
+        out = write_run_artifacts(
+            _observed_run(), str(tmp_path / "run"), config={"seed": 3}
+        )
+        rows = summarize_run(out)
+        sections = {r[0] for r in rows}
+        assert {"run", "config", "spans", "counter", "gauge"} <= sections
+        assert ("config", "seed", "3") in rows
+        assert ("spans", "work", "1") in rows
+
+    def test_diff_runs_aligns_and_subtracts(self, tmp_path):
+        a = write_run_artifacts(_observed_run(), str(tmp_path / "a"))
+        obs_b = Observer()
+        with enabled(obs_b):
+            with span("work"):
+                counter_add("engine.edge_ops", 25, app="pagerank")
+        b = write_run_artifacts(obs_b, str(tmp_path / "b"))
+
+        rows = {r[0]: r for r in diff_runs(a, b)}
+        key = "engine.edge_ops{app=pagerank}"
+        assert rows[key][1:] == ("10", "25", "15")
+        # The gauge only exists in run a.
+        assert rows["rf"][2] == "-"

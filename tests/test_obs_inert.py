@@ -1,0 +1,127 @@
+"""Differential proof that observability is inert (zero perturbation).
+
+The obs subsystem's contract: enabling an observer must not change a
+single byte of what the simulation computes.  These tests run identical
+workloads dark and instrumented and compare canonical trace JSON, app
+results, priced reports — including under a fault schedule with crashes,
+slowdowns and a mid-run re-balance through :class:`ResilientRuntime`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.engine.report import simulate_execution
+from repro.engine.resilient import ResilientRuntime
+from repro.faults import CrashFault, FaultSchedule, SlowdownFault, Supervisor
+from repro.obs import Observer, enabled
+from repro.testing import GOLDEN_APPS, golden_cluster, golden_graph, golden_run
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return golden_graph()
+
+
+@pytest.mark.parametrize("app", GOLDEN_APPS)
+class TestObsInertOnStaticPath:
+    def test_trace_and_results_byte_identical(self, app, graph):
+        dark = golden_run(app, graph=graph)
+
+        observer = Observer()
+        with enabled(observer):
+            lit = golden_run(app, graph=graph)
+
+        # The observer actually observed — this is a differential test,
+        # not two no-op runs compared to each other.
+        assert observer.spans, "observer captured no spans"
+        assert observer.metrics.counters, "observer captured no metrics"
+
+        assert lit.trace.canonical_json() == dark.trace.canonical_json()
+        assert np.array_equal(
+            lit.partition.assignment, dark.partition.assignment
+        )
+
+    def test_priced_report_identical(self, app, graph):
+        dark = golden_run(app, graph=graph)
+        with enabled(Observer()):
+            lit_report = simulate_execution(
+                golden_run(app, graph=graph).trace, golden_cluster()
+            )
+        assert lit_report.runtime_seconds == dark.report.runtime_seconds
+        assert lit_report.energy_joules == dark.report.energy_joules
+
+
+class TestObsInertUnderFaults:
+    """The resilient path emits far more events; it must stay inert too."""
+
+    @staticmethod
+    def _cluster() -> Cluster:
+        slow = MachineSpec(
+            "slow", hw_threads=4, freq_ghz=2.0, mem_bw_gbs=8.0, llc_mb=4.0
+        )
+        fast = MachineSpec(
+            "fast", hw_threads=6, freq_ghz=4.0, mem_bw_gbs=16.0, llc_mb=8.0
+        )
+        return Cluster([slow, fast])
+
+    @staticmethod
+    def _schedule() -> FaultSchedule:
+        return FaultSchedule(
+            crashes=(CrashFault(superstep=2, machine=0),),
+            slowdowns=(
+                SlowdownFault(superstep=3, machine=0, factor=4.0, duration=30),
+            ),
+            seed=11,
+        )
+
+    def _run(self, graph):
+        runtime = ResilientRuntime(
+            self._cluster(),
+            partitioner="hybrid",
+            schedule=self._schedule(),
+            supervisor=Supervisor(threshold=1.5, patience=2),
+            seed=5,
+        )
+        return runtime.run("pagerank", graph)
+
+    def test_faulted_run_byte_identical(self, graph):
+        dark = self._run(graph)
+
+        observer = Observer()
+        with enabled(observer):
+            lit = self._run(graph)
+
+        names = {s.name for s in observer.spans}
+        assert "resilience/price" in names
+        assert "resilience/crash" in names
+
+        assert lit.trace.canonical_json() == dark.trace.canonical_json()
+        assert lit.report.runtime_seconds == dark.report.runtime_seconds
+        assert lit.report.energy_joules == dark.report.energy_joules
+        assert (
+            lit.report.recovery.replayed_supersteps
+            == dark.report.recovery.replayed_supersteps
+        )
+        # If the supervisor fired, the spliced continuation must match too.
+        assert (lit.rebalanced_trace is None) == (
+            dark.rebalanced_trace is None
+        )
+        if lit.rebalanced_trace is not None:
+            assert (
+                lit.rebalanced_trace.canonical_json()
+                == dark.rebalanced_trace.canonical_json()
+            )
+
+    def test_repeated_instrumented_runs_identical_spans(self, graph):
+        """Spans use the simulated clock, so runs reproduce exactly."""
+        a, b = Observer(), Observer()
+        with enabled(a):
+            self._run(graph)
+        with enabled(b):
+            self._run(graph)
+        assert [s.to_jsonable() for s in a.spans] == [
+            s.to_jsonable() for s in b.spans
+        ]
+        assert a.metrics.to_json() == b.metrics.to_json()

@@ -1,0 +1,149 @@
+"""Property-based tests covering all five partitioners (hypothesis).
+
+Three invariants per algorithm, swept over random graphs, machine counts,
+weight vectors and seeds:
+
+1. **Validity** — every edge receives a machine id in ``[0, m)``.
+2. **Determinism** — the same ``(graph, weights, seed)`` always yields the
+   identical assignment, across fresh partitioner instances.
+3. **Weight monotonicity** — doubling one machine's weight never decreases
+   its *expected* load share (the normalised target), and on a real
+   power-law graph its realised edge count does not drop materially.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.partition import PARTITIONERS, make_partitioner
+from repro.powerlaw.generator import generate_power_law_graph
+
+ALL_ALGORITHMS = tuple(PARTITIONERS)  # the paper's five, in order
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def small_graphs(draw):
+    """Tiny power-law graphs: realistic skew, milliseconds to partition."""
+    n = draw(st.integers(min_value=16, max_value=120))
+    alpha = draw(st.floats(min_value=1.8, max_value=2.6))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    return generate_power_law_graph(n, alpha, seed=seed)
+
+
+def machine_counts(algorithm: str):
+    """Grid requires a square machine count; the rest take any."""
+    if algorithm == "grid":
+        return st.sampled_from([1, 4, 9])
+    return st.integers(min_value=1, max_value=8)
+
+
+def weight_vectors(m: int):
+    return st.lists(
+        st.floats(min_value=0.1, max_value=5.0), min_size=m, max_size=m
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+# ---------------------------------------------------------------------- #
+# Properties
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestPartitionerProperties:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_every_edge_gets_a_valid_machine(self, algorithm, data):
+        graph = data.draw(small_graphs())
+        m = data.draw(machine_counts(algorithm))
+        weights = data.draw(weight_vectors(m))
+        seed = data.draw(seeds)
+
+        result = make_partitioner(algorithm, seed=seed).partition(
+            graph, m, weights=weights
+        )
+
+        assert result.assignment.shape == (graph.num_edges,)
+        assert result.assignment.dtype == np.int32
+        assert result.assignment.min() >= 0
+        assert result.assignment.max() < m
+        assert result.edges_per_machine().sum() == graph.num_edges
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_assignment(self, algorithm, data):
+        graph = data.draw(small_graphs())
+        m = data.draw(machine_counts(algorithm))
+        weights = data.draw(weight_vectors(m))
+        seed = data.draw(seeds)
+
+        first = make_partitioner(algorithm, seed=seed).partition(
+            graph, m, weights=weights
+        )
+        second = make_partitioner(algorithm, seed=seed).partition(
+            graph, m, weights=weights
+        )
+
+        assert np.array_equal(first.assignment, second.assignment)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_doubling_weight_never_decreases_expected_share(
+        self, algorithm, data
+    ):
+        graph = data.draw(small_graphs())
+        m = data.draw(machine_counts(algorithm))
+        weights = np.asarray(data.draw(weight_vectors(m)))
+        seed = data.draw(seeds)
+        boosted_machine = data.draw(st.integers(0, m - 1))
+
+        doubled = weights.copy()
+        doubled[boosted_machine] *= 2.0
+
+        base = make_partitioner(algorithm, seed=seed).partition(
+            graph, m, weights=weights
+        )
+        boost = make_partitioner(algorithm, seed=seed).partition(
+            graph, m, weights=doubled
+        )
+
+        # The normalised target share is the "expected load share": it
+        # must never move against the raw-weight doubling.
+        assert (
+            boost.weights[boosted_machine]
+            >= base.weights[boosted_machine] - 1e-12
+        )
+        # Everyone else's target share shrinks (or stays, when m == 1).
+        others = np.arange(m) != boosted_machine
+        assert np.all(boost.weights[others] <= base.weights[others] + 1e-12)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_doubling_weight_grows_realised_load(algorithm, powerlaw_graph):
+    """On a real graph the realised edge count tracks the target.
+
+    Streaming heuristics (oblivious, ginger) chase locality as well as
+    balance, so the realised count is noisy; the tolerance (2 % of edges)
+    only rules out the target being ignored or inverted.
+    """
+    m = 4
+    weights = np.array([1.0, 1.0, 1.0, 1.0])
+    doubled = np.array([1.0, 2.0, 1.0, 1.0])
+    edges = powerlaw_graph.num_edges
+
+    base = make_partitioner(algorithm, seed=3).partition(
+        powerlaw_graph, m, weights=weights
+    )
+    boost = make_partitioner(algorithm, seed=3).partition(
+        powerlaw_graph, m, weights=doubled
+    )
+
+    before = base.edges_per_machine()[1]
+    after = boost.edges_per_machine()[1]
+    assert after >= before - 0.02 * edges
