@@ -1,0 +1,89 @@
+"""Benchmark the `repro lint` pass and record the result as BENCH_PR3.json.
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_lint.py
+
+Measures wall-clock runtime of the full rule set over ``src/repro``
+(median of several repetitions) and, as a fixed-point for the rule set
+itself, the per-rule finding counts over the known-bad test fixtures.
+The library tree is expected to be clean (0 findings); the fixtures are
+expected to be loud — both numbers are recorded so a regression in
+either direction is visible.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.analysis import all_rules, lint_paths, lint_source
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "analysis", "fixtures")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+
+REPS = 5
+
+# (fixture file, rule to run, module override so scoped rules apply)
+FIXTURE_MATRIX = [
+    ("det001_bad.py", "DET001", None),
+    ("det002_bad.py", "DET002", None),
+    ("det003_bad.py", "DET003", "repro.partition.fixture"),
+    ("obs001_bad_obs.py", "OBS001", "repro.obs.fixture"),
+    ("obs001_bad_lib.py", "OBS001", "repro.partition.fixture"),
+    ("err001_bad.py", "ERR001", None),
+    ("api001_bad.py", "API001", "repro.partition.fixture"),
+]
+
+
+def bench_tree():
+    rules = all_rules()
+    runtimes = []
+    report = None
+    for _ in range(REPS):
+        started = time.perf_counter()  # repro: allow[DET001]
+        report = lint_paths([SRC_REPRO], rules=rules)
+        runtimes.append(time.perf_counter() - started)  # repro: allow[DET001]
+    return {
+        "target": "src/repro",
+        "runtime_seconds_median": round(statistics.median(runtimes), 4),
+        "runtime_seconds_min": round(min(runtimes), 4),
+        "repetitions": REPS,
+        "files_scanned": report.files_scanned,
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+        "baselined": len(report.baselined),
+        "per_rule": report.per_rule_counts(include_hidden=True),
+    }
+
+
+def bench_fixtures():
+    counts = {}
+    for name, rule_id, module in FIXTURE_MATRIX:
+        path = os.path.join(FIXTURES, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        report = lint_source(
+            source, path=path, module=module, rules=all_rules(only=[rule_id])
+        )
+        counts[rule_id] = counts.get(rule_id, 0) + len(report.findings)
+    return counts
+
+
+def main():
+    doc = {
+        "bench": "repro lint",
+        "tree": bench_tree(),
+        "fixture_findings_per_rule": bench_fixtures(),
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Static analysis: the determinism & contract linter behind ``repro lint``.
+
+Every quantitative claim this reproduction makes — the Eq. 1 CCR
+estimation error, the fig2–fig11 speedup curves, the golden execution
+traces — rests on the invariant that the simulation is byte-deterministic:
+seeded :class:`numpy.random.Generator` streams only, the simulated clock
+only, and ordered iteration on every path whose order can leak into float
+accumulation or placement decisions.  The runtime golden-trace tests catch
+drift only after it lands and only on exercised paths; this package proves
+the invariant *at parse time* across the whole tree.
+
+The pieces:
+
+* :mod:`repro.analysis.findings` — :class:`Finding` and severities;
+* :mod:`repro.analysis.context`  — per-module AST context (import
+  resolution, parent links, dotted module names);
+* :mod:`repro.analysis.rulebase` — the :class:`Rule` protocol and registry;
+* :mod:`repro.analysis.rules_determinism` — DET001/DET002/DET003;
+* :mod:`repro.analysis.rules_contracts` — OBS001/ERR001/API001;
+* :mod:`repro.analysis.suppressions` — ``# repro: allow[RULE-ID]``;
+* :mod:`repro.analysis.baseline` — grandfathered-finding baselines;
+* :mod:`repro.analysis.runner` — file collection and rule execution;
+* :mod:`repro.analysis.reporting` — text and JSON output.
+
+The linter is pure stdlib (``ast`` + ``tokenize``-free line scanning), so
+it runs identically in CI and in offline containers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext, module_name_for_path
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rulebase import Rule, all_rules, get_rule
+from repro.analysis.runner import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "module_name_for_path",
+    "render_json",
+    "render_text",
+]

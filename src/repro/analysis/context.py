@@ -1,0 +1,166 @@
+"""Per-module analysis context: parsed AST plus name-resolution helpers.
+
+Rules need three things the raw AST does not give them:
+
+* the module's **dotted name** (``repro.partition.base``), because several
+  contracts are scoped by package (ordered iteration only matters where
+  order feeds placement; observability purity is about which side of the
+  ``repro.obs`` boundary a module lives on);
+* an **import map** from local aliases to fully qualified origins, so that
+  ``np.random.default_rng`` and ``from numpy import random as nr;
+  nr.default_rng`` resolve to the same banned/checked name;
+* **parent links**, because whether an expression is hazardous often
+  depends on its consumer (a generator expression fed straight into
+  ``sorted(...)`` is order-insensitive).
+
+Everything here is pure stdlib and side-effect free.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ModuleContext",
+    "build_import_map",
+    "module_name_for_path",
+    "qualified_name",
+]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file, derived from ``__init__.py`` chains.
+
+    Climbs parent directories for as long as they are packages, so
+    ``.../src/repro/partition/base.py`` maps to ``repro.partition.base``
+    regardless of where the tree is checked out.  A file outside any
+    package maps to its bare stem.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        if not pkg:
+            break
+        parts.insert(0, pkg)
+    return ".".join(parts) if parts else stem
+
+
+def _resolve_relative(module: str, base: Optional[str], level: int) -> str:
+    """Absolute target of a ``from``-import inside ``module``.
+
+    ``level`` is the number of leading dots; level 1 is the module's own
+    package.  Over-deep relative imports degrade to the bare base rather
+    than raising — the linter reports on code, it does not crash on it.
+    """
+    if level <= 0:
+        return base or ""
+    parts = module.split(".")
+    # The package containing `module` is everything but its last segment.
+    anchor = parts[: max(0, len(parts) - level)]
+    if base:
+        anchor.append(base)
+    return ".".join(anchor)
+
+
+def build_import_map(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Map each imported local name to its fully qualified dotted origin.
+
+    ``import numpy.random`` binds ``numpy`` -> ``numpy``;
+    ``import numpy.random as nr`` binds ``nr`` -> ``numpy.random``;
+    ``from numpy import random`` binds ``random`` -> ``numpy.random``;
+    ``from . import context`` (in ``repro.obs.x``) binds ``context`` ->
+    ``repro.obs.context``.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(module, node.module, node.level)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = (
+                    f"{target}.{alias.name}" if target else alias.name
+                )
+    return imports
+
+
+def qualified_name(
+    node: ast.expr, imports: Dict[str, str]
+) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to a dotted origin, if known.
+
+    Returns ``None`` for anything rooted in a local variable rather than
+    an import — the linter only reasons about names it can trace to a
+    module, which keeps false positives structural rather than speculative.
+    """
+    chain: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        chain.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = imports.get(current.id)
+    if origin is None:
+        return None
+    chain.append(origin)
+    return ".".join(reversed(chain))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, module: Optional[str] = None
+    ) -> "ModuleContext":
+        """Parse ``source`` into a context (raises ``SyntaxError``)."""
+        name = module if module is not None else module_name_for_path(path)
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, module=name, source=source, tree=tree)
+        ctx.imports = build_import_map(tree, name)
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx._parents[id(child)] = parent
+        return ctx
+
+    # ------------------------------------------------------------------ #
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Qualified dotted origin of a name/attribute chain, or None."""
+        return qualified_name(node, self.imports)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def iter_nodes(self) -> Tuple[ast.AST, ...]:
+        return tuple(ast.walk(self.tree))

@@ -1,0 +1,65 @@
+"""The unit of lint output: one :class:`Finding` at one source location."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are outright contract violations (wall-clock reads,
+    entropy-seeded RNGs, layering breaches); ``WARNING`` findings are
+    hazards whose impact depends on context (unordered iteration that may
+    or may not feed an order-sensitive consumer).  Both fail ``repro
+    lint`` — the distinction exists for reporting and triage, not for
+    leniency.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Sort order is (file, line, col, rule_id) so reports read top to
+    bottom per file regardless of rule execution order.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Location-insensitive identity used for baseline matching.
+
+        Line numbers churn on every unrelated edit, so the baseline keys
+        on (file, rule, message) instead — a finding moves with its code.
+        """
+        return (self.file, self.rule_id, self.message)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )

@@ -1,0 +1,81 @@
+"""Rendering lint reports: human text and machine JSON.
+
+The JSON document is format-versioned like every other machine artifact
+in this repo (execution traces, run directories): CI and tooling parse
+it, so its shape is a contract, not an accident of serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.analysis.rulebase import Rule
+from repro.analysis.runner import LintReport
+
+__all__ = ["LINT_JSON_VERSION", "render_text", "render_json", "to_jsonable"]
+
+LINT_JSON_VERSION = 1
+
+
+def _summary(report: LintReport) -> Dict[str, Any]:
+    return {
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+        "baselined": len(report.baselined),
+        "files_scanned": report.files_scanned,
+        "per_rule": report.per_rule_counts(include_hidden=True),
+    }
+
+
+def render_text(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [finding.render() for finding in report.findings]
+    summary = _summary(report)
+    lines.append(
+        f"{summary['findings']} finding(s) in "
+        f"{summary['files_scanned']} file(s) "
+        f"({summary['suppressed']} suppressed, "
+        f"{summary['baselined']} baselined)"
+    )
+    if report.findings:
+        per_rule = report.per_rule_counts(include_hidden=False)
+        breakdown = ", ".join(
+            f"{rule_id}: {count}"
+            for rule_id, count in sorted(per_rule.items())
+            if count
+        )
+        lines.append(f"by rule: {breakdown}")
+    return "\n".join(lines)
+
+
+def to_jsonable(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> Dict[str, Any]:
+    """The machine-readable report document."""
+    doc: Dict[str, Any] = {
+        "format_version": LINT_JSON_VERSION,
+        "tool": "repro-lint",
+        "summary": _summary(report),
+        "findings": [f.to_jsonable() for f in report.findings],
+        "suppressed": [f.to_jsonable() for f in report.suppressed],
+        "baselined": [f.to_jsonable() for f in report.baselined],
+    }
+    if rules is not None:
+        doc["rules"] = [
+            {
+                "id": rule.rule_id,
+                "description": rule.description,
+                "severity": rule.severity.value,
+            }
+            for rule in sorted(rules, key=lambda r: r.rule_id)
+        ]
+    return doc
+
+
+def render_json(
+    report: LintReport, rules: Optional[Sequence[Rule]] = None
+) -> str:
+    return json.dumps(to_jsonable(report, rules), indent=2, sort_keys=True)

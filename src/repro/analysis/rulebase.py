@@ -1,0 +1,103 @@
+"""The :class:`Rule` protocol and the rule registry.
+
+A rule is a small object with an identity, a severity, and a ``check``
+method that walks one :class:`~repro.analysis.context.ModuleContext` and
+yields :class:`~repro.analysis.findings.Finding` objects.  Rules register
+themselves via the :func:`register` decorator at import time; the runner
+imports the rule modules once and asks the registry for the active set.
+
+Keeping the framework pluggable (rather than one monolithic visitor) is
+deliberate: each contract this repo enforces — seeded randomness, ordered
+iteration, observability purity — evolves independently, and a new
+contract should cost one new module, not a rewrite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Protocol, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.errors import ReproError
+
+__all__ = ["AnalysisError", "Rule", "register", "all_rules", "get_rule"]
+
+
+class AnalysisError(ReproError):
+    """Invalid linter configuration or internal analysis failure."""
+
+
+class Rule(Protocol):
+    """One checkable contract."""
+
+    rule_id: str
+    description: str
+    severity: Severity
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        ...
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if rule.rule_id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rule modules populates the registry; the imports live
+    # here (not module top level) to avoid a cycle with context/findings.
+    from repro.analysis import rules_contracts  # noqa: F401
+    from repro.analysis import rules_determinism  # noqa: F401
+
+
+def all_rules(only: Optional[List[str]] = None) -> List[Rule]:
+    """All registered rules (sorted by id), optionally restricted.
+
+    Unknown ids in ``only`` raise — a typo in ``--rules`` must not
+    silently lint nothing.
+    """
+    _ensure_loaded()
+    if only is None:
+        return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+    unknown = sorted(set(only) - set(_REGISTRY))
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id(s) {unknown}; known: {sorted(_REGISTRY)}"
+        )
+    return [_REGISTRY[k] for k in sorted(set(only))]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_finding(
+    rule: "Rule",
+    ctx: ModuleContext,
+    node: ast.AST,
+    message: str,
+) -> Finding:
+    """Finding at a node's location, carrying the rule's identity."""
+    return Finding(
+        file=ctx.path,
+        line=int(getattr(node, "lineno", 1)),
+        col=int(getattr(node, "col_offset", 0)),
+        rule_id=rule.rule_id,
+        severity=rule.severity,
+        message=message,
+    )

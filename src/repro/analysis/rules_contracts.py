@@ -1,0 +1,280 @@
+"""Contract rules: OBS001 (observability purity), ERR001 (exception
+swallowing), API001 (explicit seed threading).
+
+Where the determinism rules guard *values*, these guard *structure*: the
+layering that keeps observability inert, the exception discipline that
+keeps :class:`~repro.errors.ConvergenceError` from being silently eaten,
+and the API shape that makes every randomized entry point replayable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rulebase import make_finding, register
+
+__all__ = [
+    "ObservabilityPurityRule",
+    "ExceptionSwallowRule",
+    "SeedThreadingRule",
+]
+
+
+def _import_targets(node: ast.AST, ctx: ModuleContext) -> List[str]:
+    """Absolute dotted module(s) an import statement reaches for."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        from repro.analysis.context import _resolve_relative
+
+        base = _resolve_relative(ctx.module, node.module, node.level)
+        return [base] if base else []
+    return []
+
+
+@register
+class ObservabilityPurityRule:
+    """OBS001: ``repro.obs`` is a leaf; the rest reaches it via context.
+
+    The zero-perturbation contract (DESIGN.md §9, proven byte-for-byte by
+    tests/test_obs_inert.py) requires that observability only *records*
+    values the computation already produced.  Statically that means two
+    things: modules under ``repro.obs`` may not import the subsystems
+    whose state they observe (engine, partition, core, faults, apps,
+    cluster, graph, powerlaw, experiments) — so they *cannot* mutate it —
+    and the rest of the library may reach observability only through the
+    curated surface (``repro.obs`` re-exports and the
+    ``repro.obs.context`` helpers), never by binding the tracer/metrics
+    internals directly.
+    """
+
+    rule_id = "OBS001"
+    description = (
+        "observability layering breach (obs importing engine state, or "
+        "library code importing obs internals)"
+    )
+    severity = Severity.ERROR
+
+    #: Packages the obs tree may not import (it observes their state).
+    banned_for_obs: Tuple[str, ...] = (
+        "repro.engine",
+        "repro.partition",
+        "repro.core",
+        "repro.faults",
+        "repro.apps",
+        "repro.cluster",
+        "repro.graph",
+        "repro.powerlaw",
+        "repro.experiments",
+    )
+    #: The only obs modules non-obs library code may import from.
+    allowed_surface = frozenset({"repro.obs", "repro.obs.context"})
+    #: Internal obs submodules (``from repro.obs import span`` binds the
+    #: module just as surely as ``import repro.obs.span`` does).
+    internal_submodules = frozenset({"span", "metrics", "artifacts"})
+
+    @staticmethod
+    def _under(target: str, prefix: str) -> bool:
+        return target == prefix or target.startswith(prefix + ".")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        in_obs = ctx.in_package("repro.obs")
+        for node in ctx.iter_nodes():
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in _import_targets(node, ctx):
+                if in_obs:
+                    for banned in self.banned_for_obs:
+                        if self._under(target, banned):
+                            yield make_finding(
+                                self,
+                                ctx,
+                                node,
+                                f"obs module imports {target}; "
+                                "observability must stay a leaf that "
+                                "cannot mutate engine/partition state",
+                            )
+                elif self._under(target, "repro.obs"):
+                    leaked = [target] if (
+                        target not in self.allowed_surface
+                    ) else []
+                    if (
+                        target == "repro.obs"
+                        and isinstance(node, ast.ImportFrom)
+                    ):
+                        leaked.extend(
+                            f"repro.obs.{alias.name}"
+                            for alias in node.names
+                            if alias.name in self.internal_submodules
+                        )
+                    for internal in leaked:
+                        yield make_finding(
+                            self,
+                            ctx,
+                            node,
+                            f"import of obs internal {internal}; reach "
+                            "observability through repro.obs.context "
+                            "helpers (or the repro.obs package surface)",
+                        )
+
+
+@register
+class ExceptionSwallowRule:
+    """ERR001: no bare/over-broad except that can swallow ConvergenceError.
+
+    ``except:`` and ``except Exception:`` catch
+    :class:`~repro.errors.ConvergenceError` (and every other library
+    error) along with whatever the author meant to handle; in strict mode
+    that converts a failed experiment into a silently wrong figure.  Catch
+    the narrowest :class:`~repro.errors.ReproError` subclass instead.  A
+    broad handler that re-raises (bare ``raise`` or raising a new error)
+    is tolerated — it narrows nothing but swallows nothing.
+    """
+
+    rule_id = "ERR001"
+    description = "bare or over-broad except that can swallow ConvergenceError"
+    severity = Severity.ERROR
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _broad_names(self, node: ast.expr) -> List[str]:
+        """Over-broad names in an except clause (handles tuples)."""
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for expr in exprs:
+            if isinstance(expr, ast.Name) and expr.id in self._BROAD:
+                names.append(expr.id)
+        return names
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(inner, ast.Raise)
+            for stmt in handler.body
+            for inner in ast.walk(stmt)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.iter_nodes():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    "bare `except:` swallows ConvergenceError and "
+                    "KeyboardInterrupt alike; catch a specific "
+                    "ReproError subclass",
+                )
+                continue
+            broad = self._broad_names(node.type)
+            if broad and not self._reraises(node):
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    f"`except {', '.join(broad)}` without re-raise can "
+                    "swallow ConvergenceError; catch a specific "
+                    "ReproError subclass or re-raise",
+                )
+
+
+#: Callables whose presence in a body marks the function as randomized.
+_RNG_FACTORIES = frozenset(
+    {
+        "repro.utils.rng.make_rng",
+        "repro.utils.rng.spawn_rngs",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+
+@register
+class SeedThreadingRule:
+    """API001: randomized public entry points must thread seed/rng.
+
+    Determinism is only replayable if the seed is part of the API.  Any
+    *public* function or method in the partitioner/engine/fault layers
+    that constructs a random generator must expose an explicit ``seed``
+    or ``rng`` parameter (directly, or via its class: ``self.seed`` /
+    ``self.rng`` threaded through ``__init__``).  Private helpers
+    (leading underscore) are exempt — their callers carry the contract.
+    """
+
+    rule_id = "API001"
+    description = (
+        "public partitioner/engine entry point constructs an RNG "
+        "without an explicit seed/rng parameter"
+    )
+    severity = Severity.ERROR
+
+    scoped_packages: Tuple[str, ...] = (
+        "repro.partition",
+        "repro.engine",
+        "repro.faults",
+    )
+    _PARAM_NAMES = frozenset({"seed", "rng"})
+    _SELF_ATTRS = frozenset({"seed", "rng", "_seed", "_rng"})
+
+    @staticmethod
+    def _param_names(fn: ast.AST) -> Set[str]:
+        args = fn.args  # type: ignore[attr-defined]
+        names = {a.arg for a in args.posonlyargs}
+        names |= {a.arg for a in args.args}
+        names |= {a.arg for a in args.kwonlyargs}
+        return names
+
+    def _uses_rng_factory(self, fn: ast.AST, ctx: ModuleContext) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                qualified = ctx.resolve(node.func)
+                if qualified in _RNG_FACTORIES:
+                    return True
+        return False
+
+    def _threads_via_self(self, fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self._SELF_ATTRS
+            ):
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(*self.scoped_packages):
+            return
+        for node in ctx.iter_nodes():
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            name = node.name
+            is_public = not name.startswith("_") or name == "__init__"
+            if not is_public:
+                continue
+            if not self._uses_rng_factory(node, ctx):
+                continue
+            params = self._param_names(node)
+            if params & self._PARAM_NAMES:
+                continue
+            if self._threads_via_self(node):
+                continue
+            yield make_finding(
+                self,
+                ctx,
+                node,
+                f"{name}() constructs an RNG but has no explicit "
+                "seed/rng parameter; thread the seed through the "
+                "public API so runs are replayable",
+            )

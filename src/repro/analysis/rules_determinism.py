@@ -1,0 +1,328 @@
+"""Determinism rules: DET001 (wall clock/entropy), DET002 (unseeded
+RNGs), DET003 (unordered iteration in order-sensitive packages).
+
+The simulation's contract is that every result is a pure function of the
+inputs and one integer seed: time comes from the simulated clock, all
+randomness flows through :func:`repro.utils.rng.make_rng`, and iteration
+on paths that feed float accumulation or placement decisions is ordered.
+These rules encode the three ways that contract gets broken in practice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rulebase import make_finding, register
+
+__all__ = [
+    "BannedWallClockRule",
+    "UnseededRngRule",
+    "UnorderedIterationRule",
+]
+
+
+@register
+class BannedWallClockRule:
+    """DET001: wall-clock and entropy reads are banned in library code.
+
+    ``time.time()``, ``datetime.now()``, ``uuid.uuid4()``, ``os.urandom``
+    and the module-level ``random.*`` functions all read ambient state
+    that differs between runs; any of them on a priced path silently
+    destroys byte-reproducibility.  Simulated time lives in
+    :class:`repro.obs.span.SimulatedClock`; randomness must be a seeded
+    ``Generator``.  Modules in :attr:`allowed_modules` (none by default)
+    are exempt; point exemptions use ``# repro: allow[DET001]``.
+    """
+
+    rule_id = "DET001"
+    description = (
+        "banned wall-clock/entropy call (time, datetime.now, uuid, "
+        "os.urandom, module-level random.*)"
+    )
+    severity = Severity.ERROR
+
+    #: Exact banned callables (fully qualified).
+    banned_exact = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "time.clock_gettime",
+            "os.urandom",
+            "os.getrandom",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+    #: Banned prefixes; anything under these modules reads ambient state.
+    banned_prefixes: Tuple[str, ...] = ("uuid.", "secrets.", "random.")
+    #: Exceptions to the prefixes: `random.Random` constructions are
+    #: DET002's concern (seeded instances are legitimate).
+    prefix_exceptions = frozenset({"random.Random"})
+    #: Dotted module names exempt from this rule entirely.
+    allowed_modules: Tuple[str, ...] = ()
+
+    def _is_banned(self, qualified: str) -> bool:
+        if qualified in self.prefix_exceptions:
+            return False
+        if qualified in self.banned_exact:
+            return True
+        return any(qualified.startswith(p) for p in self.banned_prefixes)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module in self.allowed_modules:
+            return
+        for node in ctx.iter_nodes():
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified is not None and self._is_banned(qualified):
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    f"call to {qualified}() reads wall-clock/entropy "
+                    "state; use the simulated clock or a seeded "
+                    "Generator (repro.utils.rng.make_rng)",
+                )
+
+
+#: Legacy ``numpy.random`` module-level draws that use the hidden global
+#: ``RandomState`` — unseeded by construction from the caller's view.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "gumbel",
+        "hypergeometric",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "pareto",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_integers",
+        "random_sample",
+        "ranf",
+        "rayleigh",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+
+@register
+class UnseededRngRule:
+    """DET002: RNG constructions must be seeded (or thread an rng in).
+
+    ``np.random.default_rng()`` / ``random.Random()`` /
+    ``np.random.RandomState()`` with no argument seed from OS entropy;
+    the legacy ``numpy.random.<draw>`` module functions share one hidden
+    global stream that any import can perturb.  Both make results
+    irreproducible and, worse, *quietly* so.  Construct generators through
+    :func:`repro.utils.rng.make_rng` with an explicit seed, or accept a
+    ``Generator`` from the caller.
+    """
+
+    rule_id = "DET002"
+    description = (
+        "unseeded RNG construction or module-level numpy.random "
+        "global-state draw"
+    )
+    severity = Severity.ERROR
+
+    zero_arg_banned = frozenset(
+        {
+            "numpy.random.default_rng",
+            "numpy.random.RandomState",
+            "random.Random",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.iter_nodes():
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified is None:
+                continue
+            if (
+                qualified in self.zero_arg_banned
+                and not node.args
+                and not node.keywords
+            ):
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    f"{qualified}() without a seed draws from OS "
+                    "entropy; pass an explicit seed or an existing "
+                    "Generator",
+                )
+            elif (
+                qualified.startswith("numpy.random.")
+                and qualified.rsplit(".", 1)[1] in _NUMPY_GLOBAL_DRAWS
+            ):
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    f"{qualified}() uses numpy's hidden global "
+                    "RandomState; use a seeded Generator instead",
+                )
+
+
+#: Builtin consumers whose result does not depend on iteration order, so
+#: feeding them an unordered view directly is safe.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {
+        "all",
+        "any",
+        "dict",
+        "frozenset",
+        "len",
+        "max",
+        "min",
+        "set",
+        "sorted",
+        "sum",
+        "collections.Counter",
+    }
+)
+
+
+@register
+class UnorderedIterationRule:
+    """DET003: unordered ``dict``/``set`` view iteration where order leaks.
+
+    In the packages whose iteration order can feed float accumulation or
+    placement decisions (``partition``, ``engine``, ``faults``, ``core``)
+    and in the observability tree (whose files must serialize
+    canonically), a ``for`` loop or comprehension directly over
+    ``.items()`` / ``.keys()`` / ``.values()`` must go through
+    ``sorted(...)``.  Insertion order is deterministic *per process* but
+    not per refactor: any edit that changes insertion sites silently
+    reorders the stream, which is exactly how heterogeneity-aware
+    placement results become irreproducible (tie-breaking order leaking
+    into placement).  Set comprehensions and views fed straight into
+    order-insensitive reducers (``sum``/``max``/``set``/...) are exempt.
+    """
+
+    rule_id = "DET003"
+    description = (
+        "iteration over dict views without sorted() in an "
+        "order-sensitive package"
+    )
+    severity = Severity.WARNING
+
+    #: Packages where iteration order can leak into results.
+    scoped_packages: Tuple[str, ...] = (
+        "repro.partition",
+        "repro.engine",
+        "repro.faults",
+        "repro.core",
+        "repro.obs",
+    )
+
+    _VIEWS = frozenset({"items", "keys", "values"})
+
+    def _is_view_call(self, node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEWS
+            and not node.args
+            and not node.keywords
+        ):
+            return node.func.attr
+        return None
+
+    def _consumed_order_insensitively(
+        self, ctx: ModuleContext, comp: ast.expr
+    ) -> bool:
+        """A generator expression passed straight to sum()/set()/... ."""
+        parent = ctx.parent(comp)
+        if not isinstance(parent, ast.Call) or comp not in parent.args:
+            return False
+        func = parent.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        else:
+            name = ctx.resolve(func) or ""
+        return name in _ORDER_INSENSITIVE_CONSUMERS
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(*self.scoped_packages):
+            return
+        for node in ctx.iter_nodes():
+            if isinstance(node, ast.For):
+                view = self._is_view_call(node.iter)
+                if view is not None:
+                    yield self._finding(ctx, node.iter, view, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                # Set comprehensions produce an unordered result; order
+                # cannot leak through them.
+                for generator in node.generators:
+                    view = self._is_view_call(generator.iter)
+                    if view is None:
+                        continue
+                    if isinstance(
+                        node, ast.GeneratorExp
+                    ) and self._consumed_order_insensitively(ctx, node):
+                        continue
+                    kind = {
+                        ast.ListComp: "list comprehension",
+                        ast.DictComp: "dict comprehension",
+                        ast.GeneratorExp: "generator expression",
+                    }[type(node)]
+                    yield self._finding(ctx, generator.iter, view, kind)
+
+    def _finding(
+        self, ctx: ModuleContext, node: ast.expr, view: str, kind: str
+    ) -> Finding:
+        return make_finding(
+            self,
+            ctx,
+            node,
+            f"{kind} iterates .{view}() unsorted; iteration order here "
+            "can feed float accumulation or placement — wrap in "
+            "sorted(...) or justify with `# repro: allow[DET003]`",
+        )

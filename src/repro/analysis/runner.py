@@ -1,0 +1,163 @@
+"""File collection and rule execution: the engine behind ``repro lint``.
+
+The runner walks the requested paths, parses each ``*.py`` once, runs
+every active rule over the shared :class:`ModuleContext`, then subtracts
+``# repro: allow[...]`` suppressions and (optionally) a checked-in
+baseline.  It returns a :class:`LintReport` that keeps all three
+populations — new findings, suppressed findings, baselined findings — so
+callers can fail on the first while still accounting for the debt in the
+other two.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rulebase import Rule, all_rules
+from repro.analysis.suppressions import parse_suppressions
+from repro.errors import ReproError
+
+__all__ = ["LintReport", "collect_files", "lint_paths", "lint_source"]
+
+#: Rule id used for files the linter cannot parse: an unparseable module
+#: cannot be proven deterministic, so it is itself a finding (not a crash).
+SYNTAX_RULE_ID = "SYNTAX"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rule_ids: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def per_rule_counts(self, include_hidden: bool = True) -> Dict[str, int]:
+        """Finding count per rule id (raw by default: new + hidden)."""
+        population = list(self.findings)
+        if include_hidden:
+            population += self.suppressed + self.baselined
+        counts = {rule_id: 0 for rule_id in self.rule_ids}
+        for finding in population:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        self.findings.sort()
+        self.suppressed.sort()
+        self.baselined.sort()
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Directory walks skip hidden directories and ``__pycache__``; the sort
+    makes lint output (and baseline generation) independent of filesystem
+    enumeration order — the linter holds itself to its own contract.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(root, filename))
+        else:
+            raise ReproError(f"lint path {path!r} does not exist")
+    return sorted(dict.fromkeys(files))
+
+
+def _check_module(
+    ctx: ModuleContext, rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Finding]]:
+    """(kept, suppressed) findings for one parsed module."""
+    suppressions = parse_suppressions(ctx.source)
+    kept: List[Finding] = []
+    hidden: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.allows(finding.rule_id, finding.line):
+                hidden.append(finding)
+            else:
+                kept.append(finding)
+    return kept, hidden
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint one in-memory module (test and tooling entry point).
+
+    ``module`` overrides the dotted name derived from ``path`` — package-
+    scoped rules (DET003, OBS001, API001) use it to decide applicability,
+    so fixtures can impersonate any part of the tree.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport(rule_ids=tuple(r.rule_id for r in active))
+    report.files_scanned = 1
+    try:
+        ctx = ModuleContext.from_source(source, path=path, module=module)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                file=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                rule_id=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    kept, hidden = _check_module(ctx, active)
+    report.findings.extend(kept)
+    report.suppressed.extend(hidden)
+    report.sort()
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint files and directories; the engine behind ``repro lint``."""
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport(rule_ids=tuple(r.rule_id for r in active))
+    for path in collect_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        report.merge(lint_source(source, path=path, rules=active))
+    if baseline is not None:
+        new, known = baseline.split(report.findings)
+        report.findings = new
+        report.baselined = known
+    report.sort()
+    return report

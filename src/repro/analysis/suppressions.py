@@ -1,0 +1,71 @@
+"""``# repro: allow[RULE-ID]`` suppression comments.
+
+Two scopes:
+
+* **line** — ``# repro: allow[DET003]`` on the offending line suppresses
+  the named rule(s) for findings reported on that line;
+* **file** — ``# repro: allow-file[DET001]`` anywhere in the file
+  suppresses the rule(s) for the whole module.
+
+Multiple ids separate with commas (``allow[DET001, DET002]``); ``*``
+matches every rule.  Suppressions are deliberate, reviewable markers —
+the runner still counts what they hid, so ``repro lint --json`` shows a
+tree's total suppression debt.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_LINE_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+_FILE_RE = re.compile(r"#\s*repro:\s*allow-file\[([^\]]+)\]")
+
+
+def _ids(group: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip() for part in group.split(",") if part.strip()
+    )
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed allow-comments for one file."""
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    whole_file: FrozenSet[str] = field(default_factory=frozenset)
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        if "*" in self.whole_file or rule_id in self.whole_file:
+            return True
+        ids = self.by_line.get(line, frozenset())
+        return "*" in ids or rule_id in ids
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan source lines for allow-comments.
+
+    Line scanning (rather than tokenizing) is enough because the marker
+    is a comment tail and the pattern cannot legally appear inside a
+    string on the same line without also being intended as a marker —
+    and a false *suppression* is visible in the lint stats, not silent.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    whole: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        for match in _FILE_RE.finditer(text):
+            whole.update(_ids(match.group(1)))
+        # allow-file[...] also matches the allow[...] pattern tail-first;
+        # strip file-scoped markers before looking for line-scoped ones.
+        stripped = _FILE_RE.sub("", text)
+        for match in _LINE_RE.finditer(stripped):
+            by_line.setdefault(lineno, set()).update(_ids(match.group(1)))
+    return Suppressions(
+        by_line={k: frozenset(v) for k, v in sorted(by_line.items())},
+        whole_file=frozenset(whole),
+    )

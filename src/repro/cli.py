@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's main entry points without writing code:
+Seven commands cover the library's main entry points without writing code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
@@ -17,6 +17,8 @@ Six commands cover the library's main entry points without writing code:
 * ``experiment``— regenerate one of the paper's tables/figures
   (``--obs-dir`` records spans/metrics/provenance alongside).
 * ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
+* ``lint``      — run the AST-based determinism & contract linter over
+  the tree (text or ``--json``; exit 0 clean, 1 findings, 2 error).
 
 Clusters are described as comma-separated machine type names from the
 catalog (e.g. ``m4.2xlarge,m4.2xlarge,c4.2xlarge,c4.2xlarge``).
@@ -391,6 +393,76 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the determinism & contract linter (exit 0/1/2)."""
+    # Wall-clock here times the *linter*, not the simulation — the one
+    # place in the library where reading the host clock is the point.
+    from time import perf_counter  # repro: allow[DET001]
+
+    from repro.analysis import (
+        Baseline,
+        all_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+    from repro.errors import ReproError
+
+    try:
+        rules = all_rules(
+            only=args.rules.split(",") if args.rules else None
+        )
+        baseline = (
+            Baseline.load(args.baseline)
+            if args.baseline and not args.write_baseline
+            else None
+        )
+        started = perf_counter()  # repro: allow[DET001]
+        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+        elapsed = perf_counter() - started  # repro: allow[DET001]
+    except ReproError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "lint error: --write-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"baseline with {len(report.findings)} entry(ies) written "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    if args.stats:
+        import json as _json
+
+        stats = {
+            "runtime_seconds": round(elapsed, 6),
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "per_rule": report.per_rule_counts(include_hidden=True),
+        }
+        with open(args.stats, "w", encoding="utf-8") as fh:
+            _json.dump(stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.json:
+        print(render_json(report, rules))
+    else:
+        print(render_text(report, rules))
+    return 0 if report.clean else 1
+
+
 def cmd_metrics(args) -> int:
     from repro.obs import diff_runs, summarize_run
     from repro.utils.tables import format_table
@@ -499,6 +571,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the experiment's spans + metrics + "
                      "provenance into this run directory")
     exp.set_defaults(func=cmd_experiment)
+
+    lnt = sub.add_parser(
+        "lint", help="run the determinism & contract linter (static "
+        "analysis; see DESIGN.md §10)"
+    )
+    lnt.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lnt.add_argument("--json", action="store_true",
+                     help="machine-readable report on stdout")
+    lnt.add_argument("--rules",
+                     help="comma-separated rule ids (default: all)")
+    lnt.add_argument("--baseline",
+                     help="baseline JSON of grandfathered findings")
+    lnt.add_argument("--write-baseline", action="store_true",
+                     help="write current findings to --baseline and exit 0")
+    lnt.add_argument("--stats",
+                     help="write runtime + per-rule counts JSON here")
+    lnt.set_defaults(func=cmd_lint)
 
     met = sub.add_parser(
         "metrics", help="summarize or diff observability run artifacts"

@@ -15,10 +15,12 @@ the reusable artifact of the one-time offline profiling pass.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.cluster.cluster import Cluster
 from repro.errors import ProfilingError
@@ -30,11 +32,11 @@ def ccr_from_times(times: Mapping[str, float]) -> Dict[str, float]:
     """Apply Eq. 1 to per-machine-type execution times."""
     if not times:
         raise ProfilingError("cannot compute CCR from an empty time map")
-    for name, t in times.items():
+    for name, t in sorted(times.items()):
         if t <= 0:
             raise ProfilingError(f"non-positive profiling time for {name!r}: {t}")
     slowest = max(times.values())
-    return {name: slowest / t for name, t in times.items()}
+    return {name: slowest / t for name, t in sorted(times.items())}
 
 
 @dataclass(frozen=True)
@@ -44,10 +46,10 @@ class CCRTable:
     app: str
     ratios: Mapping[str, float]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.ratios:
             raise ProfilingError(f"CCRTable for {self.app!r} has no entries")
-        for name, r in self.ratios.items():
+        for name, r in sorted(self.ratios.items()):
             if r < 1.0 - 1e-9:
                 raise ProfilingError(
                     f"CCR of {name!r} is {r} < 1; Eq. 1 anchors the slowest "
@@ -64,7 +66,7 @@ class CCRTable:
                 f"{self.app!r}; profiled types: {sorted(self.ratios)}"
             ) from None
 
-    def weights_for(self, cluster: Cluster) -> np.ndarray:
+    def weights_for(self, cluster: Cluster) -> NDArray[np.float64]:
         """Per-slot partition weights proportional to the CCR (normalised).
 
         Every machine instance of a type gets that type's ratio —
@@ -86,7 +88,7 @@ class CCRPool:
     JSON so a deployment can persist it between framework restarts.
     """
 
-    def __init__(self, tables: Mapping[str, CCRTable] = None):
+    def __init__(self, tables: Optional[Mapping[str, CCRTable]] = None):
         self._tables: Dict[str, CCRTable] = dict(tables) if tables else {}
 
     def add(self, table: CCRTable) -> None:
@@ -107,7 +109,7 @@ class CCRPool:
     def __len__(self) -> int:
         return len(self._tables)
 
-    def apps(self):
+    def apps(self) -> Tuple[str, ...]:
         return tuple(self._tables)
 
     # ------------------------------------------------------------------ #
@@ -116,7 +118,7 @@ class CCRPool:
 
     def to_json(self) -> str:
         return json.dumps(
-            {app: table.as_dict() for app, table in self._tables.items()},
+            {app: table.as_dict() for app, table in sorted(self._tables.items())},
             indent=2,
             sort_keys=True,
         )
@@ -130,7 +132,7 @@ class CCRPool:
         if not isinstance(raw, dict):
             raise ProfilingError("CCR pool JSON must be an object")
         pool = cls()
-        for app, ratios in raw.items():
+        for app, ratios in sorted(raw.items()):
             if not isinstance(ratios, dict):
                 raise ProfilingError(
                     f"CCR entry for {app!r} must be a machine->ratio object, "
@@ -139,12 +141,12 @@ class CCRPool:
             pool.add(CCRTable(app=app, ratios=ratios))
         return pool
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json())
 
     @classmethod
-    def load(cls, path) -> "CCRPool":
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "CCRPool":
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_json(fh.read())
 

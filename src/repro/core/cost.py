@@ -63,26 +63,28 @@ def cost_efficiency(
         Machine name whose runtime anchors ``speedup = 1``; defaults to
         the slowest machine per application.
     """
-    machines = list(machines)
-    if not machines:
+    machine_list = list(machines)
+    if not machine_list:
         raise ClusterError("cost study needs at least one machine")
-    for m in machines:
+    rates: Dict[str, float] = {}
+    for m in machine_list:
         if m.cost_per_hour is None:
             raise ClusterError(
                 f"machine {m.name!r} has no hourly rate; Fig. 11 covers "
                 "priced (cloud) machines"
             )
-    proxies = proxies if proxies is not None else ProxySet()
-    graphs = proxies.graphs()
+        rates[m.name] = m.cost_per_hour
+    proxy_set = proxies if proxies is not None else ProxySet()
+    graphs = proxy_set.graphs()
 
     points: List[CostPoint] = []
     for app_name in apps:
         # One trace per proxy, priced on each machine.
-        times: Dict[str, float] = {m.name: 0.0 for m in machines}
-        for graph in graphs.values():
+        times: Dict[str, float] = {m.name: 0.0 for m in machine_list}
+        for _proxy, graph in sorted(graphs.items()):
             system = GraphProcessingSystem(cluster_template)
             trace = system.run_single_machine(make_app(app_name), graph)
-            for m in machines:
+            for m in machine_list:
                 solo = Cluster(
                     [m],
                     network=cluster_template.network,
@@ -98,10 +100,11 @@ def cost_efficiency(
             anchor = times[baseline]
 
         costs = {
-            m.name: times[m.name] / 3600.0 * m.cost_per_hour for m in machines
+            m.name: times[m.name] / 3600.0 * rates[m.name]
+            for m in machine_list
         }
         max_cost = max(costs.values())
-        for m in machines:
+        for m in machine_list:
             points.append(
                 CostPoint(
                     machine=m.name,
@@ -118,7 +121,7 @@ def cost_efficiency(
 def pareto_front(points: Iterable[CostPoint]) -> List[CostPoint]:
     """Non-dominated subset: no other point is faster *and* cheaper."""
     pts = list(points)
-    front = []
+    front: List[CostPoint] = []
     for p in pts:
         dominated = any(
             (q.speedup >= p.speedup and q.cost_per_task < p.cost_per_task)

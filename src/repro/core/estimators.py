@@ -17,9 +17,10 @@ each machine receive for this application?* — from different information:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.cluster.cluster import Cluster
 from repro.core.ccr import CCRPool
@@ -45,7 +46,7 @@ class CapabilityEstimator(abc.ABC):
     @abc.abstractmethod
     def weights(
         self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
-    ) -> np.ndarray:
+    ) -> NDArray[np.float64]:
         """Normalised weight per machine slot."""
 
 
@@ -54,7 +55,9 @@ class UniformEstimator(CapabilityEstimator):
 
     name = "default"
 
-    def weights(self, cluster, app_name, graph=None):
+    def weights(
+        self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
+    ) -> NDArray[np.float64]:
         return uniform_weights(cluster)
 
 
@@ -63,7 +66,9 @@ class ThreadCountEstimator(CapabilityEstimator):
 
     name = "prior_work"
 
-    def weights(self, cluster, app_name, graph=None):
+    def weights(
+        self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
+    ) -> NDArray[np.float64]:
         return thread_count_weights(cluster)
 
 
@@ -91,10 +96,10 @@ class ProxyCCREstimator(CapabilityEstimator):
         self.pool = pool if pool is not None else CCRPool()
         # Pools are valid per machine-type composition; remember which
         # composition the cached tables describe.
-        self._pool_signature: Optional[tuple] = None
+        self._pool_signature: Optional[Tuple[str, ...]] = None
 
     @staticmethod
-    def _signature(cluster: Cluster) -> tuple:
+    def _signature(cluster: Cluster) -> Tuple[str, ...]:
         return tuple(sorted(cluster.representatives()))
 
     def ensure_profiled(self, cluster: Cluster, app_name: str) -> None:
@@ -109,7 +114,9 @@ class ProxyCCREstimator(CapabilityEstimator):
             ).profile(cluster)
             self.pool.add(report.pool.get(app_name))
 
-    def weights(self, cluster, app_name, graph=None):
+    def weights(
+        self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
+    ) -> NDArray[np.float64]:
         self.ensure_profiled(cluster, app_name)
         return self.pool.get(app_name).weights_for(cluster)
 
@@ -122,7 +129,9 @@ class OracleEstimator(CapabilityEstimator):
     def __init__(self, profiler: Optional[ProxyProfiler] = None):
         self.profiler = profiler if profiler is not None else ProxyProfiler()
 
-    def weights(self, cluster, app_name, graph=None):
+    def weights(
+        self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
+    ) -> NDArray[np.float64]:
         if graph is None:
             raise ValueError("OracleEstimator needs the input graph")
         table = self.profiler.profile_graph(app_name, graph, cluster)

@@ -29,7 +29,10 @@ pool online at regular intervals."*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
 
 from repro.apps.registry import DEFAULT_APPS
 from repro.cluster.cluster import Cluster
@@ -37,6 +40,7 @@ from repro.core.ccr import CCRPool, CCRTable, ccr_from_times
 from repro.core.estimators import CapabilityEstimator
 from repro.core.profiler import ProxyProfiler
 from repro.errors import ProfilingError
+from repro.graph.digraph import DiGraph
 
 __all__ = ["ClusterUpdate", "OnlineCCRMonitor", "OnlineCCREstimator"]
 
@@ -90,8 +94,8 @@ class OnlineCCRMonitor:
 
     @property
     def known_types(self) -> Tuple[str, ...]:
-        types = set()
-        for per_app in self._times.values():
+        types: Set[str] = set()
+        for _app, per_app in sorted(self._times.items()):
             types.update(per_app)
         return tuple(sorted(types))
 
@@ -111,7 +115,7 @@ class OnlineCCRMonitor:
         if new:
             reps = {
                 name: spec
-                for name, spec in cluster.representatives().items()
+                for name, spec in sorted(cluster.representatives().items())
                 if name in new
             }
             sub = Cluster(
@@ -193,7 +197,7 @@ class OnlineCCRMonitor:
         for app in self.apps:
             times = {
                 mtype: t * self.degradation(mtype)
-                for mtype, t in self._times[app].items()
+                for mtype, t in sorted(self._times[app].items())
                 if mtype in present
             }
             pool.add(CCRTable(app=app, ratios=ccr_from_times(times)))
@@ -214,6 +218,8 @@ class OnlineCCREstimator(CapabilityEstimator):
     def __init__(self, monitor: Optional[OnlineCCRMonitor] = None):
         self.monitor = monitor if monitor is not None else OnlineCCRMonitor()
 
-    def weights(self, cluster, app_name, graph=None):
+    def weights(
+        self, cluster: Cluster, app_name: str, graph: Optional[DiGraph] = None
+    ) -> NDArray[np.float64]:
         self.monitor.observe(cluster)
         return self.monitor.pool_for(cluster).get(app_name).weights_for(cluster)

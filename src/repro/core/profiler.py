@@ -19,10 +19,11 @@ representative in parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.apps.registry import DEFAULT_APPS, make_app
 from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
 from repro.core.ccr import CCRPool, CCRTable, ccr_from_times
 from repro.core.proxy import ProxySet
 from repro.engine.report import simulate_execution
@@ -104,14 +105,14 @@ class ProxyProfiler:
 
             for app_name in self.apps:
                 per_machine: Dict[str, float] = {name: 0.0 for name in reps}
-                for proxy_name, graph in graphs.items():
+                for proxy_name, graph in sorted(graphs.items()):
                     with obs.span(
                         "profile/set", app=app_name, proxy=proxy_name
                     ):
                         times = self._time_on_machines(
                             app_name, graph, cluster, reps
                         )
-                    for mtype, t in times.items():
+                    for mtype, t in sorted(times.items()):
                         per_machine[mtype] += t
                         records.append(
                             ProfileRecord(app_name, proxy_name, mtype, t)
@@ -130,7 +131,7 @@ class ProxyProfiler:
                 )
                 pool.add(table)
                 if obs.is_enabled():
-                    for mtype, ratio in table.as_dict().items():
+                    for mtype, ratio in sorted(table.as_dict().items()):
                         obs.gauge_set(
                             "profile.ccr",
                             ratio,
@@ -159,13 +160,16 @@ class ProxyProfiler:
 
     @staticmethod
     def _time_on_machines(
-        app_name: str, graph: DiGraph, cluster: Cluster, reps
+        app_name: str,
+        graph: DiGraph,
+        cluster: Cluster,
+        reps: Mapping[str, MachineSpec],
     ) -> Dict[str, float]:
         """Single-machine runtimes of one profiling set per machine type."""
         system = GraphProcessingSystem(cluster)
         trace = system.run_single_machine(make_app(app_name), graph)
         times: Dict[str, float] = {}
-        for mtype, spec in reps.items():
+        for mtype, spec in sorted(reps.items()):
             solo = Cluster([spec], network=cluster.network, perf=cluster.perf)
             times[mtype] = simulate_execution(trace, solo).runtime_seconds
         return times

@@ -10,7 +10,7 @@ generated and added (Section III-A.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import ProfilingError
 from repro.graph.digraph import DiGraph
@@ -50,13 +50,13 @@ class ProxySet:
     def __init__(
         self,
         num_vertices: int = 32_000,
-        alphas=DEFAULT_PROXY_ALPHAS,
+        alphas: Iterable[float] = DEFAULT_PROXY_ALPHAS,
         seed: int = 100,
     ):
         if num_vertices < 2:
             raise ProfilingError("proxy graphs need at least 2 vertices")
-        alphas = tuple(float(a) for a in alphas)
-        if not alphas:
+        alpha_values = tuple(float(a) for a in alphas)
+        if not alpha_values:
             raise ProfilingError("at least one proxy alpha is required")
         self.num_vertices = num_vertices
         self.seed = seed
@@ -67,7 +67,7 @@ class ProxySet:
                 alpha=a,
                 seed=seed + k,
             )
-            for k, a in enumerate(alphas)
+            for k, a in enumerate(alpha_values)
         ]
         self._cache: Dict[str, DiGraph] = {}
 

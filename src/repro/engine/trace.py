@@ -28,7 +28,12 @@ def _jsonable(value: Any) -> Any:
     import numpy as np
 
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        # Sort on the stringified key: deterministic even for int-keyed
+        # result dicts, and it matches the str(k) output key.
+        return {
+            str(k): _jsonable(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, np.ndarray):

@@ -160,7 +160,7 @@ class Supervisor:
         if not self.triggered:
             raise FaultError("supervisor has not detected any straggler")
         w = np.asarray(weights, dtype=np.float64).copy()
-        for slot, factor in self._report.factors.items():
+        for slot, factor in sorted(self._report.factors.items()):
             if slot >= w.size:
                 raise FaultError(
                     f"straggler slot {slot} outside weight vector of "
@@ -180,7 +180,7 @@ class Supervisor:
         if not self.triggered:
             raise FaultError("supervisor has not detected any straggler")
         applied: Dict[str, float] = {}
-        for slot, factor in self._report.factors.items():
+        for slot, factor in sorted(self._report.factors.items()):
             if slot >= cluster.num_machines:
                 raise FaultError(
                     f"straggler slot {slot} outside cluster of "
@@ -189,7 +189,7 @@ class Supervisor:
             mtype = cluster.machines[slot].name
             # Several slots of one type: keep the worst observation.
             applied[mtype] = max(applied.get(mtype, 1.0), factor)
-        for mtype, factor in applied.items():
+        for mtype, factor in sorted(applied.items()):
             monitor.report_degradation(mtype, factor)
         return applied
 

@@ -210,7 +210,7 @@ def diff_runs(
 
 def _scalars(run: RunArtifacts) -> Dict[str, float]:
     flat = {key: value for _, key, value in flatten_jsonable(run.metrics)}
-    for name, count in run.span_names().items():
+    for name, count in sorted(run.span_names().items()):
         flat[f"spans.{name}"] = float(count)
     return flat
 

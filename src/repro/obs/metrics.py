@@ -141,7 +141,7 @@ class MetricsRegistry:
             "counters": self.counters,
             "gauges": self.gauges,
             "histograms": {
-                k: h.summary() for k, h in self.histograms.items()
+                k: h.summary() for k, h in sorted(self.histograms.items())
             },
         }
 
@@ -156,7 +156,7 @@ class MetricsRegistry:
         out: Dict[str, float] = {}
         out.update(self.counters)
         out.update(self.gauges)
-        for k, h in self.histograms.items():
+        for k, h in sorted(self.histograms.items()):
             out[f"{k}.sum"] = h.total
             out[f"{k}.count"] = float(h.count)
         return out

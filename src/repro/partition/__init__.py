@@ -9,6 +9,8 @@ original homogeneous algorithms; thread-count weights reproduce prior work
 proxy-guided system.
 """
 
+from typing import Any, Dict, Type
+
 from repro.partition.base import PartitionResult, Partitioner, normalize_weights
 from repro.partition.weights import (
     thread_count_weights,
@@ -29,7 +31,7 @@ from repro.partition.metrics import (
 )
 
 #: All partitioner classes keyed by algorithm name, in the paper's order.
-PARTITIONERS = {
+PARTITIONERS: Dict[str, Type[Partitioner]] = {
     cls.name: cls
     for cls in (
         RandomHashPartitioner,
@@ -41,7 +43,7 @@ PARTITIONERS = {
 }
 
 
-def make_partitioner(name: str, seed: int = 0, **kwargs) -> Partitioner:
+def make_partitioner(name: str, seed: int = 0, **kwargs: Any) -> Partitioner:
     """Instantiate a partitioner by algorithm name."""
     try:
         cls = PARTITIONERS[name]

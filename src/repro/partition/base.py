@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import PartitionError
 from repro.graph.digraph import DiGraph
@@ -26,7 +28,9 @@ from repro.utils.validation import check_array_1d
 __all__ = ["PartitionResult", "Partitioner", "normalize_weights"]
 
 
-def normalize_weights(weights, num_machines: int) -> np.ndarray:
+def normalize_weights(
+    weights: Optional[ArrayLike], num_machines: int
+) -> NDArray[np.float64]:
     """Validate and normalise a weight vector to sum to 1.
 
     ``None`` yields uniform weights (the homogeneous baseline).
@@ -63,12 +67,12 @@ class PartitionResult:
     """
 
     graph: DiGraph
-    assignment: np.ndarray
+    assignment: NDArray[np.int32]
     num_machines: int
     algorithm: str
-    weights: np.ndarray
+    weights: NDArray[np.float64]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         assignment = np.ascontiguousarray(self.assignment, dtype=np.int32)
         object.__setattr__(self, "assignment", assignment)
         if assignment.ndim != 1 or assignment.size != self.graph.num_edges:
@@ -88,13 +92,13 @@ class PartitionResult:
             self, "weights", normalize_weights(self.weights, self.num_machines)
         )
 
-    def edges_per_machine(self) -> np.ndarray:
+    def edges_per_machine(self) -> NDArray[np.int64]:
         """Edge count per machine (int64 array of length ``num_machines``)."""
         return np.bincount(self.assignment, minlength=self.num_machines).astype(
             np.int64
         )
 
-    def machine_edges(self, machine: int) -> np.ndarray:
+    def machine_edges(self, machine: int) -> NDArray[np.intp]:
         """Canonical edge indices assigned to ``machine``."""
         if not 0 <= machine < self.num_machines:
             raise PartitionError(
@@ -122,7 +126,7 @@ class Partitioner(abc.ABC):
         self,
         graph: DiGraph,
         num_machines: int,
-        weights=None,
+        weights: Optional[ArrayLike] = None,
     ) -> PartitionResult:
         """Partition ``graph`` over ``num_machines`` machines.
 
@@ -175,8 +179,8 @@ class Partitioner(abc.ABC):
 
     @abc.abstractmethod
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         """Return the int machine id per canonical edge."""
 
     def __repr__(self) -> str:

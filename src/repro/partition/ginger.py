@@ -24,6 +24,7 @@ property.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.digraph import DiGraph
 from repro.obs import context as obs
@@ -68,8 +69,8 @@ class GingerPartitioner(Partitioner):
         self.chunk_size = chunk_size
 
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         m = num_machines
         # Start from Hybrid's assignment (phase 1 + high-degree phase 2).
         hybrid = HybridPartitioner(seed=self.seed, threshold=self.threshold)

@@ -18,8 +18,10 @@ edge goes to the maximum-score machine.
 from __future__ import annotations
 
 import math
+from typing import List, Set
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import PartitionError
 from repro.graph.digraph import DiGraph
@@ -41,8 +43,8 @@ class GridPartitioner(Partitioner):
         self.chunk_size = chunk_size
 
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         side = math.isqrt(num_machines)
         if side * side != num_machines:
             raise PartitionError(
@@ -62,7 +64,6 @@ class GridPartitioner(Partitioner):
         vcell = np.searchsorted(
             cell_cum, hash_to_unit(mix64(vertex_ids, seed=self.seed)), side="right"
         ).astype(np.int32)
-        vrow, vcol = vcell // side, vcell % side
 
         # --- candidate table: (cell_u, cell_v) -> intersection machines --
         # S(u) = row(u) ∪ col(u).  |S(u) ∩ S(v)| <= 2 for distinct cells
@@ -72,7 +73,7 @@ class GridPartitioner(Partitioner):
         cand_table = np.full((n_cells, n_cells, max_cand), -1, dtype=np.int32)
         cand_count = np.zeros((n_cells, n_cells), dtype=np.int32)
         grid = np.arange(num_machines, dtype=np.int32).reshape(side, side)
-        constraint_sets = []
+        constraint_sets: List[Set[int]] = []
         for c in range(n_cells):
             r, k = divmod(c, side)
             s = set(grid[r, :].tolist()) | set(grid[:, k].tolist())

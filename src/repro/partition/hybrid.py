@@ -22,6 +22,7 @@ vector (the paper: "the way of modifying the first pass and second pass
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.digraph import DiGraph
 from repro.partition.base import Partitioner
@@ -52,16 +53,16 @@ class HybridPartitioner(Partitioner):
         self.threshold = threshold
 
     def _weighted_vertex_hash(
-        self, vertices: np.ndarray, weights: np.ndarray
-    ) -> np.ndarray:
+        self, vertices: NDArray[np.int64], weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         cum = np.cumsum(weights)
         cum[-1] = 1.0
         u = hash_to_unit(mix64(vertices, seed=self.seed))
         return np.searchsorted(cum, u, side="right").astype(np.int32)
 
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         src, dst = graph.edges()
         # Phase 1: edge cut — group in-edges with their target.
         assignment = self._weighted_vertex_hash(dst, weights)

@@ -15,8 +15,10 @@ Two families matter for the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.partition.base import PartitionResult
 
@@ -29,7 +31,7 @@ __all__ = [
 ]
 
 
-def vertex_presence(result: PartitionResult) -> np.ndarray:
+def vertex_presence(result: PartitionResult) -> NDArray[np.bool_]:
     """Boolean matrix ``(num_vertices, num_machines)``: vertex has a copy.
 
     A vertex is present on a machine iff at least one of its edges was
@@ -74,8 +76,8 @@ class PartitionStats:
 
     algorithm: str
     num_machines: int
-    edges_per_machine: tuple
-    target_weights: tuple
+    edges_per_machine: Tuple[int, ...]
+    target_weights: Tuple[float, ...]
     weighted_imbalance: float
     replication_factor: float
 

@@ -19,6 +19,7 @@ sequential greedy.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.digraph import DiGraph
 from repro.obs import context as obs
@@ -58,8 +59,8 @@ class ObliviousPartitioner(Partitioner):
         self.chunk_size = chunk_size
 
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         m = num_machines
         src, dst = graph.edges()
         n_edges = src.size

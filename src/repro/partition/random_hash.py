@@ -11,6 +11,7 @@ the machine whose cumulative-weight bucket contains it.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.digraph import DiGraph
 from repro.partition.base import Partitioner
@@ -25,8 +26,8 @@ class RandomHashPartitioner(Partitioner):
     name = "random_hash"
 
     def _assign(
-        self, graph: DiGraph, num_machines: int, weights: np.ndarray
-    ) -> np.ndarray:
+        self, graph: DiGraph, num_machines: int, weights: NDArray[np.float64]
+    ) -> NDArray[np.int32]:
         src, dst = graph.edges()
         u = hash_to_unit(hash_edges(src, dst, seed=self.seed))
         # cumulative buckets: machine i owns [cum[i-1], cum[i]).

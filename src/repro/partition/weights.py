@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.cluster.cluster import Cluster
 from repro.errors import PartitionError
@@ -25,12 +26,12 @@ from repro.partition.base import normalize_weights
 __all__ = ["uniform_weights", "thread_count_weights", "weights_from_values"]
 
 
-def uniform_weights(cluster: Cluster) -> np.ndarray:
+def uniform_weights(cluster: Cluster) -> NDArray[np.float64]:
     """Equal share per machine — the heterogeneity-oblivious default."""
     return np.full(cluster.num_machines, 1.0 / cluster.num_machines)
 
 
-def thread_count_weights(cluster: Cluster) -> np.ndarray:
+def thread_count_weights(cluster: Cluster) -> NDArray[np.float64]:
     """Prior work's estimate: share proportional to computing threads.
 
     The paper's example (Section III-B): a 4-thread and an 8-thread machine
@@ -41,7 +42,7 @@ def thread_count_weights(cluster: Cluster) -> np.ndarray:
     return threads / threads.sum()
 
 
-def weights_from_values(values: Sequence[float]) -> np.ndarray:
+def weights_from_values(values: Sequence[float]) -> NDArray[np.float64]:
     """Normalise arbitrary positive capability values into weights.
 
     Used to turn a CCR vector (or an oracle capability measurement) into a

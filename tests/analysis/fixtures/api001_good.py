@@ -1,0 +1,29 @@
+"""API001 fixture: the seed is always part of the public API.
+
+Linted with a module override placing it under ``repro.partition``.
+"""
+
+from repro.utils.rng import make_rng
+
+
+def shuffle_edges(edges, seed):
+    rng = make_rng(seed)
+    return rng.permutation(edges)
+
+
+def shuffle_with(edges, rng):
+    return rng.permutation(edges)
+
+
+class FixturePartitioner:
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    def partition(self, edges):
+        rng = make_rng(self.seed)  # threads the seed via self
+        return rng.permutation(edges)
+
+
+def _private_helper(edges):
+    rng = make_rng(1234)  # private: the caller carries the contract
+    return rng.permutation(edges)

@@ -1,0 +1,19 @@
+"""DET001 fixture: every call below reads wall-clock or entropy state."""
+
+import datetime
+import os
+import random
+import time
+import uuid
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    mono = time.monotonic()
+    precise = perf_counter()
+    today = datetime.datetime.now()
+    run_id = uuid.uuid4()
+    token = os.urandom(16)
+    pick = random.randint(0, 10)
+    return started, mono, precise, today, run_id, token, pick

@@ -1,0 +1,18 @@
+"""DET001 fixture: deterministic stand-ins for every banned pattern."""
+
+import random
+
+
+class SimulatedClock:
+    def __init__(self):
+        self._ticks = 0
+
+    def advance(self):
+        self._ticks += 1
+        return self._ticks
+
+
+def stamp(clock, seed):
+    started = clock.advance()
+    rng = random.Random(seed)  # seeded instances are DET002's concern
+    return started, rng.randint(0, 10)

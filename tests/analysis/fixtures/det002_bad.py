@@ -1,0 +1,21 @@
+"""DET002 fixture: unseeded constructions and global-state draws."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def build():
+    a = np.random.default_rng()
+    b = default_rng()
+    c = np.random.RandomState()
+    d = random.Random()
+    return a, b, c, d
+
+
+def draw():
+    x = np.random.normal(0.0, 1.0)
+    y = np.random.randint(10)
+    np.random.shuffle([1, 2, 3])
+    return x, y

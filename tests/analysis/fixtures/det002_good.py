@@ -1,0 +1,17 @@
+"""DET002 fixture: every generator is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def build(seed):
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(seed=seed)
+    c = np.random.RandomState(seed)
+    d = random.Random(seed)
+    return a, b, c, d
+
+
+def draw(rng):
+    return rng.normal(0.0, 1.0)

@@ -1,0 +1,14 @@
+"""DET003 fixture: unordered view iteration where order can leak.
+
+Linted with a module override placing it under ``repro.partition``.
+"""
+
+
+def accumulate(times):
+    total = 0.0
+    for _name, t in times.items():  # for loop over .items()
+        total += t * total
+    listed = [v for v in times.values()]  # list comp over .values()
+    keyed = {k: 1 for k in times.keys()}  # dict comp over .keys()
+    joined = ",".join(k for k in times.keys())  # genexp, order-sensitive sink
+    return total, listed, keyed, joined

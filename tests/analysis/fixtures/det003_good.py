@@ -1,0 +1,15 @@
+"""DET003 fixture: ordered iteration and order-insensitive consumers.
+
+Linted with a module override placing it under ``repro.partition``.
+"""
+
+
+def accumulate(times):
+    total = 0.0
+    for _name, t in sorted(times.items()):  # ordered
+        total += t * total
+    listed = [v for v in sorted(times.values())]
+    biggest = max(times.values())  # order-insensitive reducer
+    everything = sum(v for v in times.values())  # genexp into sum()
+    present = {k for k in times.keys()}  # set comp: unordered result
+    return total, listed, biggest, everything, present

@@ -1,0 +1,22 @@
+"""ERR001 fixture: handlers that can swallow ConvergenceError."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:  # noqa: E722  (that is the point of the fixture)
+        return None
+
+
+def swallow_broad(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallow_tuple(work):
+    try:
+        return work()
+    except (ValueError, Exception) as exc:
+        return exc

@@ -1,0 +1,27 @@
+"""ERR001 fixture: narrow handlers, and broad ones that re-raise."""
+
+
+class FixtureError(Exception):
+    pass
+
+
+def narrow(work):
+    try:
+        return work()
+    except (ValueError, KeyError):
+        return None
+
+
+def broad_but_reraises(work):
+    try:
+        return work()
+    except Exception as exc:
+        raise FixtureError("wrapped") from exc
+
+
+def broad_conditional_reraise(work):
+    try:
+        return work()
+    except Exception:
+        if True:
+            raise

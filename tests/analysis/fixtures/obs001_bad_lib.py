@@ -1,0 +1,12 @@
+"""OBS001 fixture: library code binding observability internals.
+
+Linted with a module override placing it under ``repro.partition``.
+"""
+
+import repro.obs.span
+from repro.obs.metrics import MetricsRegistry
+from repro.obs import artifacts
+
+
+def poke():
+    return repro.obs.span, MetricsRegistry, artifacts

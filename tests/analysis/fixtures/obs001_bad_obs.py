@@ -1,0 +1,12 @@
+"""OBS001 fixture: an obs module importing the state it observes.
+
+Linted with a module override placing it under ``repro.obs``.
+"""
+
+import repro.engine.runtime
+from repro.partition import make_partitioner
+from repro.core.ccr import CCRPool
+
+
+def poke():
+    return repro.engine.runtime, make_partitioner, CCRPool

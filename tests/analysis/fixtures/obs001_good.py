@@ -1,0 +1,15 @@
+"""OBS001 fixture: library code using the curated obs surface.
+
+Linted with a module override placing it under ``repro.partition``.
+"""
+
+from repro.obs import context as obs
+from repro.obs import Observer
+
+
+def instrumented(work):
+    with obs.span("fixture/work"):
+        result = work()
+    if obs.is_enabled():
+        obs.counter_add("fixture.calls", 1.0)
+    return result, Observer

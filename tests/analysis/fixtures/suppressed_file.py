@@ -1,0 +1,12 @@
+# repro: allow-file[DET001]
+"""File-wide suppression fixture: DET001 is allowed everywhere here."""
+
+import time
+
+
+def first(work):
+    return work(), time.time()
+
+
+def second(work):
+    return work(), time.monotonic()

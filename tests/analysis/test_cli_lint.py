@@ -1,0 +1,125 @@
+"""CLI contract for ``repro lint``: exit codes, JSON schema, baseline
+workflow, stats output, and the self-lint acceptance gate."""
+
+import json
+import os
+
+from repro.cli import main
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+BAD_FIXTURE = os.path.join(FIXTURES, "det001_bad.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", BAD_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "by rule:" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/lint/path"]) == 2
+        assert "lint error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target), "--rules", "NOPE999"]) == 2
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", BAD_FIXTURE, "--write-baseline"]) == 2
+
+
+class TestJsonOutput:
+    def test_schema(self, capsys):
+        main(["lint", BAD_FIXTURE, "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format_version"] == 1
+        assert doc["tool"] == "repro-lint"
+        assert set(doc["summary"]) == {
+            "findings",
+            "suppressed",
+            "baselined",
+            "files_scanned",
+            "per_rule",
+        }
+        assert doc["summary"]["files_scanned"] == 1
+        assert doc["summary"]["findings"] > 0
+        first = doc["findings"][0]
+        assert set(first) == {
+            "file",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+        }
+        ids = {r["id"] for r in doc["rules"]}
+        assert {"DET001", "DET002", "DET003", "OBS001", "ERR001", "API001"} <= ids
+
+    def test_rule_filter(self, capsys):
+        main(["lint", BAD_FIXTURE, "--json", "--rules", "DET002"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["findings"] == 0
+        assert [r["id"] for r in doc["rules"]] == ["DET002"]
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass(self, tmp_path, capsys):
+        bpath = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", BAD_FIXTURE, "--baseline", bpath, "--write-baseline"]
+        ) == 0
+        assert "written" in capsys.readouterr().out
+        assert main(["lint", BAD_FIXTURE, "--baseline", bpath]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_new_finding_still_fails(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nx = time.time()\n")
+        bpath = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", str(target), "--baseline", bpath, "--write-baseline"]
+        ) == 0
+        target.write_text(
+            "import time\n\nx = time.time()\ny = time.monotonic()\n"
+        )
+        assert main(["lint", str(target), "--baseline", bpath]) == 1
+
+
+class TestStats:
+    def test_stats_file_schema(self, tmp_path, capsys):
+        spath = str(tmp_path / "stats.json")
+        main(["lint", BAD_FIXTURE, "--stats", spath])
+        with open(spath, "r", encoding="utf-8") as fh:
+            stats = json.load(fh)
+        assert stats["files_scanned"] == 1
+        assert stats["findings"] > 0
+        assert stats["runtime_seconds"] >= 0
+        assert "DET001" in stats["per_rule"]
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean(self, capsys):
+        """The acceptance gate: the merged tree lints clean."""
+        assert main(["lint", SRC_REPRO]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_checked_in_baseline_is_empty(self):
+        with open(
+            os.path.join(REPO_ROOT, "lint-baseline.json"), encoding="utf-8"
+        ) as fh:
+            doc = json.load(fh)
+        assert doc["format_version"] == 1
+        assert doc["entries"] == []

@@ -1,0 +1,217 @@
+"""Framework tests: suppressions, baselines, file collection, module
+naming, and the syntax-error path."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    all_rules,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+)
+from repro.analysis.runner import SYNTAX_RULE_ID, collect_files
+from repro.analysis.suppressions import parse_suppressions
+from repro.errors import ReproError
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestSuppressions:
+    def test_line_scope_parsing(self):
+        sup = parse_suppressions(
+            "x = 1\ny = 2  # repro: allow[DET001]\nz = 3\n"
+        )
+        assert sup.allows("DET001", 2)
+        assert not sup.allows("DET001", 1)
+        assert not sup.allows("DET002", 2)
+
+    def test_wildcard_and_multiple_ids(self):
+        sup = parse_suppressions(
+            "a = 1  # repro: allow[DET001, DET002]\nb = 2  # repro: allow[*]\n"
+        )
+        assert sup.allows("DET001", 1)
+        assert sup.allows("DET002", 1)
+        assert not sup.allows("DET003", 1)
+        assert sup.allows("ANYTHING", 2)
+
+    def test_file_scope(self):
+        sup = parse_suppressions("# repro: allow-file[DET001]\nx = 1\n")
+        assert sup.allows("DET001", 99)
+        assert not sup.allows("DET002", 99)
+
+    def test_suppressed_fixture_counts_but_does_not_fail(self):
+        report = lint_source(
+            fixture("suppressed.py"),
+            path="suppressed.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        assert report.clean
+        assert len(report.suppressed) == 2
+
+    def test_file_wide_suppression(self):
+        report = lint_source(
+            fixture("suppressed_file.py"),
+            path="suppressed_file.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        assert report.clean
+        assert len(report.suppressed) == 2
+
+
+class TestBaseline:
+    def bad_report(self):
+        return lint_source(
+            fixture("det001_bad.py"),
+            path="det001_bad.py",
+            rules=all_rules(only=["DET001"]),
+        )
+
+    def test_roundtrip_and_split(self, tmp_path):
+        report = self.bad_report()
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(report.findings).save(path)
+        loaded = Baseline.load(path)
+        new, known = loaded.split(report.findings)
+        assert not new
+        assert len(known) == len(report.findings)
+
+    def test_baseline_is_line_number_insensitive(self, tmp_path):
+        report = self.bad_report()
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(report.findings).save(path)
+        shifted = lint_source(
+            "# a new leading comment shifts every line\n"
+            + fixture("det001_bad.py"),
+            path="det001_bad.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        new, known = Baseline.load(path).split(shifted.findings)
+        assert not new
+        assert len(known) == len(report.findings)
+
+    def test_new_findings_escape_the_baseline(self, tmp_path):
+        report = self.bad_report()
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(report.findings[:-1]).save(path)
+        new, known = Baseline.load(path).split(report.findings)
+        assert len(new) == 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "entries": []}')
+        with pytest.raises(ReproError):
+            Baseline.load(str(path))
+        path.write_text("not json at all")
+        with pytest.raises(ReproError):
+            Baseline.load(str(path))
+
+    def test_lint_paths_applies_baseline(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nx = time.time()\n")
+        first = lint_paths([str(target)], rules=all_rules(only=["DET001"]))
+        assert len(first.findings) == 1
+        bpath = str(tmp_path / "baseline.json")
+        Baseline.from_findings(first.findings).save(bpath)
+        second = lint_paths(
+            [str(target)],
+            rules=all_rules(only=["DET001"]),
+            baseline=Baseline.load(bpath),
+        )
+        assert second.clean
+        assert len(second.baselined) == 1
+
+
+class TestCollectFiles:
+    def test_sorted_dedup_and_walk(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.pyc").write_text("")
+        (tmp_path / "pkg" / ".hidden" / "c.py").write_text("x = 1\n")
+        files = collect_files(
+            [str(tmp_path / "pkg"), str(tmp_path / "pkg" / "a.py")]
+        )
+        names = [os.path.basename(f) for f in files]
+        assert names == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ReproError):
+            collect_files(["/no/such/lint/path"])
+
+
+class TestModuleNaming:
+    def test_src_layout_resolves_dotted_name(self):
+        path = os.path.join("src", "repro", "partition", "base.py")
+        assert module_name_for_path(path) == "repro.partition.base"
+
+    def test_init_module_is_the_package(self):
+        path = os.path.join("src", "repro", "partition", "__init__.py")
+        assert module_name_for_path(path) == "repro.partition"
+
+    def test_real_tree_agrees(self):
+        root = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src", "repro", "obs"
+        )
+        path = os.path.normpath(os.path.join(root, "span.py"))
+        assert module_name_for_path(path) == "repro.obs.span"
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_is_a_finding_not_a_crash(self):
+        report = lint_source("def broken(:\n", path="broken.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule_id == SYNTAX_RULE_ID
+        assert "does not parse" in finding.message
+
+    def test_report_counts_the_file(self):
+        report = lint_source("def broken(:\n", path="broken.py")
+        assert report.files_scanned == 1
+
+
+class TestReport:
+    def test_per_rule_counts_include_hidden_populations(self):
+        report = lint_source(
+            fixture("suppressed.py"),
+            path="suppressed.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        raw = report.per_rule_counts(include_hidden=True)
+        visible = report.per_rule_counts(include_hidden=False)
+        assert raw["DET001"] == 2
+        assert visible["DET001"] == 0
+
+    def test_findings_sort_by_position(self):
+        report = lint_source(
+            fixture("det001_bad.py"),
+            path="det001_bad.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)
+
+    def test_json_document_roundtrips(self):
+        from repro.analysis import render_json
+
+        report = lint_source(
+            fixture("det001_bad.py"),
+            path="det001_bad.py",
+            rules=all_rules(only=["DET001"]),
+        )
+        doc = json.loads(render_json(report, all_rules(only=["DET001"])))
+        assert doc["format_version"] == 1
+        assert doc["tool"] == "repro-lint"
+        assert doc["summary"]["findings"] == len(report.findings)
+        assert doc["rules"][0]["id"] == "DET001"

@@ -1,0 +1,187 @@
+"""Per-rule tests: every rule fires on its bad fixture, stays silent on
+the good one.  Fixtures live under ``tests/analysis/fixtures/`` and are
+linted with module overrides so package-scoped rules apply."""
+
+import os
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def lint_fixture(name: str, rule_id: str, module=None):
+    return lint_source(
+        fixture(name),
+        path=os.path.join(FIXTURES, name),
+        module=module,
+        rules=all_rules(only=[rule_id]),
+    )
+
+
+class TestDET001:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det001_bad.py", "DET001")
+        assert len(report.findings) == 7
+        messages = " ".join(f.message for f in report.findings)
+        assert "time.time()" in messages
+        assert "time.monotonic()" in messages
+        assert "time.perf_counter()" in messages
+        assert "datetime.datetime.now()" in messages
+        assert "uuid.uuid4()" in messages
+        assert "os.urandom()" in messages
+        assert "random.randint()" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det001_good.py", "DET001")
+        assert report.clean
+        assert not report.suppressed
+
+    def test_findings_carry_position_and_severity(self):
+        report = lint_fixture("det001_bad.py", "DET001")
+        first = report.findings[0]
+        assert first.rule_id == "DET001"
+        assert first.severity.value == "error"
+        assert first.line > 0
+        assert first.file.endswith("det001_bad.py")
+
+
+class TestDET002:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det002_bad.py", "DET002")
+        # 4 unseeded constructions + 3 global-state draws.
+        assert len(report.findings) == 7
+        messages = " ".join(f.message for f in report.findings)
+        assert "numpy.random.default_rng()" in messages
+        assert "random.Random()" in messages
+        assert "hidden global" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det002_good.py", "DET002")
+        assert report.clean
+
+
+class TestDET003:
+    MODULE = "repro.partition.fixture"
+
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det003_bad.py", "DET003", module=self.MODULE)
+        # for loop + list comp + dict comp + order-sensitive genexp.
+        assert len(report.findings) == 4
+        kinds = " ".join(f.message for f in report.findings)
+        assert "for loop" in kinds
+        assert "list comprehension" in kinds
+        assert "dict comprehension" in kinds
+        assert "generator expression" in kinds
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det003_good.py", "DET003", module=self.MODULE)
+        assert report.clean
+
+    def test_out_of_scope_module_ignored(self):
+        report = lint_fixture(
+            "det003_bad.py", "DET003", module="repro.apps.fixture"
+        )
+        assert report.clean
+
+    def test_severity_is_warning(self):
+        report = lint_fixture("det003_bad.py", "DET003", module=self.MODULE)
+        assert {f.severity.value for f in report.findings} == {"warning"}
+
+
+class TestOBS001:
+    def test_obs_importing_engine_fires(self):
+        report = lint_fixture(
+            "obs001_bad_obs.py", "OBS001", module="repro.obs.fixture"
+        )
+        assert len(report.findings) == 3
+        messages = " ".join(f.message for f in report.findings)
+        assert "repro.engine.runtime" in messages
+        assert "repro.partition" in messages
+        assert "repro.core.ccr" in messages
+
+    def test_library_binding_obs_internals_fires(self):
+        report = lint_fixture(
+            "obs001_bad_lib.py", "OBS001", module="repro.partition.fixture"
+        )
+        assert len(report.findings) == 3
+        messages = " ".join(f.message for f in report.findings)
+        assert "repro.obs.span" in messages
+        assert "repro.obs.metrics" in messages
+        assert "repro.obs.artifacts" in messages
+
+    def test_curated_surface_clean(self):
+        report = lint_fixture(
+            "obs001_good.py", "OBS001", module="repro.partition.fixture"
+        )
+        assert report.clean
+
+    def test_non_repro_module_ignored(self):
+        report = lint_fixture(
+            "obs001_bad_lib.py", "OBS001", module="thirdparty.tool"
+        )
+        assert report.clean
+
+
+class TestERR001:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("err001_bad.py", "ERR001")
+        assert len(report.findings) == 3
+        messages = " ".join(f.message for f in report.findings)
+        assert "bare `except:`" in messages
+        assert "`except Exception`" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("err001_good.py", "ERR001")
+        assert report.clean
+
+
+class TestAPI001:
+    MODULE = "repro.partition.fixture"
+
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("api001_bad.py", "API001", module=self.MODULE)
+        assert len(report.findings) == 2
+        names = " ".join(f.message for f in report.findings)
+        assert "shuffle_edges()" in names
+        assert "__init__()" in names
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("api001_good.py", "API001", module=self.MODULE)
+        assert report.clean
+
+    def test_out_of_scope_module_ignored(self):
+        report = lint_fixture(
+            "api001_bad.py", "API001", module="repro.apps.fixture"
+        )
+        assert report.clean
+
+
+class TestRuleRegistry:
+    def test_all_rules_cover_the_documented_set(self):
+        ids = {r.rule_id for r in all_rules()}
+        assert {
+            "DET001",
+            "DET002",
+            "DET003",
+            "OBS001",
+            "ERR001",
+            "API001",
+        } <= ids
+
+    def test_unknown_rule_id_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            all_rules(only=["NOPE999"])
+
+    def test_rules_have_descriptions_and_severities(self):
+        for rule in all_rules():
+            assert rule.description
+            assert rule.severity.value in ("error", "warning")
