@@ -1,0 +1,138 @@
+"""Benchmark scalar vs vectorized kernel backends (BENCH_PR4.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_backends.py --scale 0.01
+
+Runs the heaviest experiment drivers (fig9, fig10a, fig10b) under both
+backends from cold caches and records wall-clock seconds plus the
+speedup.  Results are merged into ``BENCH_PR4.json`` keyed by scale, so
+the checked-in full-scale baseline and the small-scale CI entry coexist.
+
+``--check`` replays the benchmark at the requested scale and fails (exit
+1) if the vectorized backend regresses: speedup below parity with the
+scalar reference, or below 90 % of the checked-in baseline's speedup for
+the same scale.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.kernels.backend import use_backend
+from repro.kernels.cache import clear_all_caches
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+
+#: Regression tolerance against the recorded baseline speedup.
+BASELINE_SLACK = 0.9
+
+
+def _benchmarks():
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.fig10 import run_case2, run_case3
+
+    return {
+        "fig9": run_fig9,
+        "fig10a": run_case2,
+        "fig10b": run_case3,
+    }
+
+
+def _time_once(func, scale, backend):
+    clear_all_caches()
+    with use_backend(backend):
+        started = time.perf_counter()  # repro: allow[DET001]
+        func(scale=scale)
+        return time.perf_counter() - started  # repro: allow[DET001]
+
+
+def run_bench(scale, reps):
+    entry = {"reps": reps, "benchmarks": {}}
+    for name, func in sorted(_benchmarks().items()):
+        # Interleave backends within each rep so ambient machine-speed
+        # drift (shared CI hosts) biases both timings equally.
+        scalar_times, vectorized_times = [], []
+        for _ in range(reps):
+            scalar_times.append(_time_once(func, scale, "scalar"))
+            vectorized_times.append(_time_once(func, scale, "vectorized"))
+        scalar = statistics.median(scalar_times)
+        vectorized = statistics.median(vectorized_times)
+        entry["benchmarks"][name] = {
+            "scalar_seconds": round(scalar, 3),
+            "vectorized_seconds": round(vectorized, 3),
+            "speedup": round(scalar / vectorized, 2),
+        }
+        print(
+            f"{name}: scalar {scalar:.2f}s, vectorized {vectorized:.2f}s, "
+            f"speedup {scalar / vectorized:.2f}x"
+        )
+    return entry
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"bench": "kernel backends (scalar vs vectorized)", "runs": {}}
+
+
+def check(scale, reps):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale, reps)
+    failures = []
+    for name, measured in sorted(entry["benchmarks"].items()):
+        recorded = baseline["benchmarks"].get(name)
+        if recorded is None:
+            failures.append(f"{name}: no baseline entry")
+            continue
+        floor = max(1.0, BASELINE_SLACK * recorded["speedup"])
+        if measured["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {measured['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (baseline {recorded['speedup']:.2f}x)"
+            )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(f"check passed at scale {scale}: no backend perf regression")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="dataset scale passed to the drivers")
+    parser.add_argument("--reps", type=int, default=1,
+                        help="repetitions per (benchmark, backend); the "
+                        "median is recorded")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale, args.reps))
+
+    doc = load_doc()
+    doc.setdefault("runs", {})[str(args.scale)] = run_bench(
+        args.scale, args.reps
+    )
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -232,9 +232,9 @@ class UnorderedIterationRule:
     """DET003: unordered ``dict``/``set`` view iteration where order leaks.
 
     In the packages whose iteration order can feed float accumulation or
-    placement decisions (``partition``, ``engine``, ``faults``, ``core``)
-    and in the observability tree (whose files must serialize
-    canonically), a ``for`` loop or comprehension directly over
+    placement decisions (``partition``, ``engine``, ``faults``, ``core``,
+    ``kernels``) and in the observability tree (whose files must
+    serialize canonically), a ``for`` loop or comprehension directly over
     ``.items()`` / ``.keys()`` / ``.values()`` must go through
     ``sorted(...)``.  Insertion order is deterministic *per process* but
     not per refactor: any edit that changes insertion sites silently
@@ -258,6 +258,7 @@ class UnorderedIterationRule:
         "repro.faults",
         "repro.core",
         "repro.obs",
+        "repro.kernels",
     )
 
     _VIEWS = frozenset({"items", "keys", "values"})

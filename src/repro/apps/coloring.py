@@ -141,6 +141,14 @@ class GraphColoring(GraphApplication):
     # ------------------------------------------------------------------ #
 
     def execute(self, dgraph: DistributedGraph) -> ExecutionTrace:
+        from repro.kernels.backend import vectorized_enabled
+
+        if vectorized_enabled():
+            # Memoised colouring + histogram accounting; bit-identical
+            # trace (see repro.kernels.accounting.coloring_trace).
+            from repro.kernels.accounting import coloring_trace
+
+            return coloring_trace(self, dgraph)
         graph = dgraph.graph
         m = dgraph.num_machines
         colors, rounds_log = self.color(graph)

@@ -33,6 +33,9 @@ class ConnectedComponents(SyncVertexProgram):
     accumulator = "min"
     undirected = True
     max_supersteps = 500
+    # messages() is values[s] per edge — pure elementwise, so the
+    # vectorized backend may hoist it across machines.
+    messages_elementwise = True
 
     cost = AppCostModel(
         flops_per_edge_op=8.0,
@@ -53,6 +56,12 @@ class ConnectedComponents(SyncVertexProgram):
         self, graph: DiGraph, values: np.ndarray, sources: np.ndarray
     ) -> np.ndarray:
         return values[sources]
+
+    def messages_vertexwise(
+        self, graph: DiGraph, values: np.ndarray
+    ) -> np.ndarray:
+        # Per-vertex form of messages(): the label itself.
+        return values
 
     def apply(
         self,

@@ -47,6 +47,9 @@ class PageRank(SyncVertexProgram):
     name = "pagerank"
     accumulator = "sum"
     undirected = False
+    # messages() is values[s] / out_deg[s] per edge — pure elementwise, so
+    # the vectorized backend may hoist it across machines.
+    messages_elementwise = True
 
     cost = AppCostModel(
         flops_per_edge_op=3.0,
@@ -85,6 +88,19 @@ class PageRank(SyncVertexProgram):
         # Out-degrees are >= 1 for any vertex that appears as a source, so
         # the division is safe on the participating edges.
         return values[sources] / graph.out_degrees[sources]
+
+    def messages_vertexwise(
+        self, graph: DiGraph, values: np.ndarray
+    ) -> np.ndarray:
+        # Per-vertex form of messages(): rank/out-degree computed once per
+        # vertex and gathered per edge.  The division per slot is the same
+        # float64 operation either way, so the gathered array is
+        # bit-identical to messages() on any source list.  Sinks (out
+        # degree 0) never appear as sources; their slot is left at 0.
+        out_deg = graph.out_degrees
+        out = np.zeros_like(values)
+        np.divide(values, out_deg, out=out, where=out_deg > 0)
+        return out
 
     def apply(
         self,

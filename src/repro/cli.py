@@ -31,6 +31,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro._version import __version__
+from repro.kernels.backend import VALID_BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -516,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--scale", type=_model_scale, default=0.01)
     prof.add_argument("--seed", type=int, default=100)
     prof.add_argument("--output", help="write the CCR pool JSON here")
+    prof.add_argument("--backend", choices=VALID_BACKENDS,
+                      help="kernel backend (default: vectorized, or "
+                      "$REPRO_KERNEL_BACKEND); results are bit-identical")
     prof.set_defaults(func=cmd_profile)
 
     proc = sub.add_parser("process", help="run an application (Fig. 7b)")
@@ -545,6 +549,9 @@ def build_parser() -> argparse.ArgumentParser:
     proc.add_argument("--obs-dir",
                       help="record spans + metrics + trace + config into "
                       "this run directory (see the `metrics` command)")
+    proc.add_argument("--backend", choices=VALID_BACKENDS,
+                      help="kernel backend (default: vectorized, or "
+                      "$REPRO_KERNEL_BACKEND); results are bit-identical")
     proc.set_defaults(func=cmd_process)
 
     flt = sub.add_parser(
@@ -570,6 +577,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--obs-dir",
                      help="record the experiment's spans + metrics + "
                      "provenance into this run directory")
+    exp.add_argument("--backend", choices=VALID_BACKENDS,
+                     help="kernel backend (default: vectorized, or "
+                     "$REPRO_KERNEL_BACKEND); results are bit-identical")
     exp.set_defaults(func=cmd_experiment)
 
     lnt = sub.add_parser(
@@ -607,6 +617,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from repro.kernels.backend import set_backend
+
+        set_backend(backend)
     return args.func(args)
 
 

@@ -30,6 +30,14 @@ from repro.engine.report import simulate_execution
 from repro.engine.runtime import GraphProcessingSystem
 from repro.errors import ProfilingError
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import vectorized_enabled
+from repro.kernels.cache import (
+    graph_fingerprint,
+    machine_key,
+    machine_time_cache,
+    perf_key,
+    profile_trace_cache,
+)
 from repro.obs import context as obs
 
 __all__ = ["ProfileRecord", "ProfileReport", "ProxyProfiler"]
@@ -159,6 +167,27 @@ class ProxyProfiler:
     # ------------------------------------------------------------------ #
 
     @staticmethod
+    def _single_machine_trace(app_name: str, graph: DiGraph, cluster: Cluster):
+        """One profiling-set execution, memoised by graph *content*.
+
+        Single-machine traces are machine-agnostic and cluster-independent
+        (pricing happens in :func:`simulate_execution`), so the cache key
+        is just ``(app, graph fingerprint)``.  Bypassed whenever an
+        observer is installed — observed runs must execute for real.
+        """
+        key = None
+        if vectorized_enabled() and not obs.is_enabled():
+            key = ("profile_trace", app_name, graph_fingerprint(graph))
+            hit = profile_trace_cache.get(key)
+            if hit is not None:
+                return hit
+        system = GraphProcessingSystem(cluster)
+        trace = system.run_single_machine(make_app(app_name), graph)
+        if key is not None:
+            profile_trace_cache.put(key, trace)
+        return trace
+
+    @staticmethod
     def _time_on_machines(
         app_name: str,
         graph: DiGraph,
@@ -166,10 +195,26 @@ class ProxyProfiler:
         reps: Mapping[str, MachineSpec],
     ) -> Dict[str, float]:
         """Single-machine runtimes of one profiling set per machine type."""
-        system = GraphProcessingSystem(cluster)
-        trace = system.run_single_machine(make_app(app_name), graph)
+        use_cache = vectorized_enabled() and not obs.is_enabled()
+        fp = graph_fingerprint(graph) if use_cache else None
+        pkey = perf_key(cluster.perf) if use_cache else None
         times: Dict[str, float] = {}
+        trace = None
         for mtype, spec in sorted(reps.items()):
+            tkey = None
+            if use_cache:
+                tkey = ("profile_time", app_name, fp, machine_key(spec), pkey)
+                cached = machine_time_cache.get(tkey)
+                if cached is not None:
+                    times[mtype] = float(cached)
+                    continue
+            if trace is None:
+                trace = ProxyProfiler._single_machine_trace(
+                    app_name, graph, cluster
+                )
             solo = Cluster([spec], network=cluster.network, perf=cluster.perf)
-            times[mtype] = simulate_execution(trace, solo).runtime_seconds
+            t = simulate_execution(trace, solo).runtime_seconds
+            if tkey is not None:
+                machine_time_cache.put(tkey, t)
+            times[mtype] = t
         return times

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.errors import EngineError
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import vectorized_enabled
+from repro.kernels.csr import stable_machine_order
 from repro.partition.base import PartitionResult
 from repro.utils.rng import mix64
 
@@ -59,14 +61,48 @@ class DistributedGraph:
         src, dst = self.graph.edges()
 
         # Per-machine edge views (canonical order preserved within machine).
-        order = np.argsort(assignment, kind="stable")
-        counts = np.bincount(assignment, minlength=self.num_machines)
+        if vectorized_enabled():
+            # Counting sort over the few machine buckets; provably the
+            # same permutation as the stable argsort (see kernels.csr).
+            order, counts = stable_machine_order(assignment, self.num_machines)
+        else:
+            order = np.argsort(assignment, kind="stable")
+            counts = np.bincount(assignment, minlength=self.num_machines)
         bounds = np.concatenate([[0], np.cumsum(counts)])
         self.edge_ids: List[np.ndarray] = [
             order[bounds[m] : bounds[m + 1]] for m in range(self.num_machines)
         ]
-        self.local_src: List[np.ndarray] = [src[ids] for ids in self.edge_ids]
-        self.local_dst: List[np.ndarray] = [dst[ids] for ids in self.edge_ids]
+        if vectorized_enabled():
+            # Gather the endpoints once over the whole machine-sorted order
+            # and slice per machine: the slices are zero-copy views holding
+            # exactly the bytes the per-machine fancy-index would produce,
+            # and the flat arrays double as the kernel backend's
+            # MachineEdgeView (pre-populating its per-instance memo).
+            from repro.kernels.csr import MachineEdgeView
+
+            flat_src = src[order]
+            flat_dst = dst[order]
+            self.local_src = [
+                flat_src[bounds[m] : bounds[m + 1]]
+                for m in range(self.num_machines)
+            ]
+            self.local_dst = [
+                flat_dst[bounds[m] : bounds[m + 1]]
+                for m in range(self.num_machines)
+            ]
+            machine_ids = np.repeat(
+                np.arange(self.num_machines, dtype=np.int32),
+                np.asarray(counts, dtype=np.int64),
+            )
+            self.__dict__["_kernels_machine_edges"] = MachineEdgeView(
+                src=flat_src,
+                dst=flat_dst,
+                bounds=np.asarray(bounds, dtype=np.int64),
+                machine_ids=machine_ids,
+            )
+        else:
+            self.local_src = [src[ids] for ids in self.edge_ids]
+            self.local_dst = [dst[ids] for ids in self.edge_ids]
 
         # Presence matrix: vertex v has a replica on machine m.
         presence = np.zeros((self.graph.num_vertices, self.num_machines), dtype=bool)
@@ -179,6 +215,10 @@ class DistributedGraph:
                 f"active mask must have shape ({self.graph.num_vertices},), "
                 f"got {active.shape}"
             )
+        if vectorized_enabled():
+            from repro.kernels.accounting import sync_bytes_vectorized
+
+            return sync_bytes_vectorized(self, active, value_bytes)
         replicated = active & (self.replica_counts > 1)
         if not np.any(replicated):
             return np.zeros(self.num_machines, dtype=np.float64)

@@ -9,6 +9,7 @@ weight vector before calling into here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 import numpy as np
 
@@ -19,9 +20,36 @@ from repro.engine.trace import ExecutionTrace
 from repro.engine.vertex_program import GraphApplication
 from repro.errors import EngineError
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import vectorized_enabled
+from repro.kernels.cache import dgraph_cache, graph_fingerprint
+from repro.obs import context as obs
 from repro.partition.base import Partitioner, PartitionResult
 
 __all__ = ["RunOutcome", "GraphProcessingSystem"]
+
+
+def _materialize_dgraph(partition: PartitionResult) -> DistributedGraph:
+    """Build (or fetch) the distributed layout for a partition.
+
+    The layout is a pure function of (graph, assignment, machine count,
+    master seed) and the engines never mutate it, so under the vectorized
+    backend identical partitions share one cached instance.  Observed runs
+    bypass the cache and materialise for real.
+    """
+    if not vectorized_enabled() or obs.is_enabled():
+        return DistributedGraph(partition)
+    key = (
+        "dgraph",
+        graph_fingerprint(partition.graph),
+        hashlib.sha256(partition.assignment.tobytes()).hexdigest(),
+        partition.num_machines,
+    )
+    cached = dgraph_cache.get(key)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    dgraph = DistributedGraph(partition)
+    dgraph_cache.put(key, dgraph)
+    return dgraph
 
 
 @dataclass(frozen=True)
@@ -71,7 +99,7 @@ class GraphProcessingSystem:
         partition = partitioner.partition(
             graph, self.cluster.num_machines, weights=weights
         )
-        dgraph = DistributedGraph(partition)
+        dgraph = _materialize_dgraph(partition)
         trace = app.execute(dgraph)
         report = simulate_execution(trace, self.cluster)
         return RunOutcome(
@@ -104,4 +132,4 @@ class GraphProcessingSystem:
             algorithm="single",
             weights=np.array([1.0]),
         )
-        return app.execute(DistributedGraph(single))
+        return app.execute(_materialize_dgraph(single))

@@ -1,0 +1,46 @@
+"""Numpy-vectorized kernels and memoisation for the repro pipeline.
+
+This package is the PR-4 "fast path": CSR/CSC adjacency built once per
+graph, vectorized gather/apply/accounting kernels, and content-keyed LRU
+caches for proxy profiling.  The scalar implementations in ``engine/``,
+``apps/`` and ``partition/`` remain the reference backend; every kernel
+here is required to be **bit-identical** to its scalar counterpart (see
+DESIGN.md §11 and ``tests/equivalence/``).
+
+Backend selection: ``repro.kernels.backend`` (``REPRO_KERNEL_BACKEND``
+env var, ``--backend`` CLI flag, or :func:`set_backend`).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.backend import (
+    VALID_BACKENDS,
+    active_backend,
+    default_backend,
+    set_backend,
+    use_backend,
+    vectorized_enabled,
+)
+from repro.kernels.cache import (
+    LRUCache,
+    cache_stats,
+    clear_all_caches,
+    graph_fingerprint,
+)
+from repro.kernels.csr import CSRAdjacency, concat_ranges, stable_machine_order
+
+__all__ = [
+    "VALID_BACKENDS",
+    "active_backend",
+    "default_backend",
+    "set_backend",
+    "use_backend",
+    "vectorized_enabled",
+    "LRUCache",
+    "cache_stats",
+    "clear_all_caches",
+    "graph_fingerprint",
+    "CSRAdjacency",
+    "concat_ranges",
+    "stable_machine_order",
+]

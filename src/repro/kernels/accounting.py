@@ -1,0 +1,300 @@
+"""Vectorized work-accounting kernels for the non-GAS applications.
+
+The asynchronous Coloring replay and the Triangle Count accounting both
+reduce to *histograms over integer quantities* — edge counts, vertex
+counts, replica legs — which are exactly representable in float64 far
+below 2**53.  Every reduction here therefore produces the same float64
+values as the scalar per-round/per-machine loops it replaces, which is
+what keeps the emitted :class:`~repro.engine.trace.ExecutionTrace` bytes
+identical (DESIGN.md §11).
+
+Partition-independent results (the undirected simple skeleton, the
+colouring waves, the triangle total) are memoised per graph instance via
+:func:`repro.kernels.cache.graph_memo` — the dominant win for the
+``experiments/fig*`` drivers, which execute the same handful of graphs
+under dozens of (partitioner, estimator) configurations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.kernels.cache import graph_memo
+from repro.kernels.csr import machine_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.coloring import GraphColoring
+    from repro.apps.triangle_count import TriangleCount
+    from repro.engine.distributed_graph import DistributedGraph
+    from repro.engine.trace import ExecutionTrace
+    from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "cached_simple_skeleton",
+    "cached_coloring",
+    "cached_triangle_total",
+    "coloring_trace",
+    "sync_bytes_vectorized",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Per-graph memos (partition-independent results)
+# ---------------------------------------------------------------------- #
+
+
+def cached_simple_skeleton(
+    graph: "DiGraph",
+) -> Tuple[NDArray[np.int64], NDArray[np.int64]]:
+    """Memoised ``undirected_simple_edges`` (deduped ``u < v`` skeleton)."""
+    memo = graph_memo(graph)
+    key = ("skeleton",)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    from repro.apps.triangle_count import _undirected_simple_edges
+
+    u, v = _undirected_simple_edges(graph)
+    u.setflags(write=False)
+    v.setflags(write=False)
+    memo[key] = (u, v)
+    return u, v
+
+
+def cached_coloring(
+    app: "GraphColoring", graph: "DiGraph"
+) -> Tuple[NDArray[np.int64], List[NDArray[np.int64]]]:
+    """Memoised Jones–Plassmann colouring (colours + per-round winners).
+
+    The colouring is a function of the graph and the app's priority
+    parameters only — never of the partition — so one computation serves
+    every (partitioner, estimator, cluster) configuration.
+    """
+    memo = graph_memo(graph)
+    key = ("coloring", app.seed, app.max_rounds)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    colors, rounds_log = app.color(graph)
+    colors.setflags(write=False)
+    for winners in rounds_log:
+        winners.setflags(write=False)
+    memo[key] = (colors, rounds_log)
+    return colors, rounds_log
+
+
+def cached_triangle_total(app: "TriangleCount", graph: "DiGraph") -> int:
+    """Memoised exact triangle total (independent of the partition)."""
+    memo = graph_memo(graph)
+    key = ("triangle_total", app.row_block)
+    cached = memo.get(key)
+    if cached is not None:
+        return int(cached)
+    total = app.count_triangles(graph)
+    memo[key] = total
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# Mirror-sync traffic
+# ---------------------------------------------------------------------- #
+
+#: Below this active-share the scalar compressed-row path is cheaper than
+#: the dense matvec; both are exact, so the choice is performance-only.
+_DENSE_SYNC_FRACTION = 8
+
+
+def _presence_f(dgraph: "DistributedGraph") -> NDArray[np.float64]:
+    """Float64 presence matrix, memoised per distributed graph."""
+    pres = dgraph.__dict__.get("_kernels_presence_f")
+    if pres is None:
+        pres = dgraph.presence.astype(np.float64)
+        dgraph.__dict__["_kernels_presence_f"] = pres
+    return pres  # type: ignore[no-any-return]
+
+
+def sync_bytes_vectorized(
+    dgraph: "DistributedGraph",
+    active: NDArray[np.bool_],
+    value_bytes: int,
+) -> NDArray[np.float64]:
+    """Per-machine mirror-sync traffic; bit-identical to the scalar path.
+
+    Scalar: ``pres.sum(axis=0) - bincount(masters)`` mirror legs plus
+    ``bincount(masters, weights=copies-1)`` master legs.  All terms are
+    integer-valued, so replacing the boolean row-sum with a float64
+    matvec against the presence matrix (dense case) changes nothing in
+    the produced float64 values.
+    """
+    m = dgraph.num_machines
+    replicated = active & (dgraph.replica_counts > 1)
+    k = int(np.count_nonzero(replicated))
+    if k == 0:
+        return np.zeros(m, dtype=np.float64)
+    masters = dgraph.master[replicated]
+    copies = dgraph.replica_counts[replicated]
+    if k * _DENSE_SYNC_FRACTION >= dgraph.num_vertices:
+        mirror_legs = replicated.astype(np.float64) @ _presence_f(dgraph)
+    else:
+        mirror_legs = (
+            dgraph.presence[replicated].sum(axis=0).astype(np.float64)
+        )
+    mirror_legs = mirror_legs - np.bincount(masters, minlength=m).astype(
+        np.float64
+    )
+    master_legs = np.bincount(
+        masters, weights=(copies - 1).astype(np.float64), minlength=m
+    )
+    return (mirror_legs + master_legs) * float(value_bytes)
+
+
+# ---------------------------------------------------------------------- #
+# Coloring replay (histogram accounting over the memoised waves)
+# ---------------------------------------------------------------------- #
+
+
+def _suffix_sums(hist: NDArray[np.float64]) -> NDArray[np.float64]:
+    """Per-row suffix sums: ``out[i, r] = hist[i, r:].sum()`` (exact ints)."""
+    return np.cumsum(hist[:, ::-1], axis=1)[:, ::-1]
+
+
+def _color_round(
+    num_vertices: int, rounds_log: List[NDArray[np.int64]]
+) -> NDArray[np.int64]:
+    """Round index at which each vertex was coloured; ``R`` if never.
+
+    "Never" covers vertices coloured upfront (skeleton-isolated), which
+    the scalar replay keeps in the uncoloured mask through every wave.
+    """
+    rounds = len(rounds_log)
+    cr = np.full(num_vertices, rounds, dtype=np.int64)
+    for r, winners in enumerate(rounds_log):
+        cr[winners] = r
+    return cr
+
+
+def coloring_trace(
+    app: "GraphColoring", dgraph: "DistributedGraph"
+) -> "ExecutionTrace":
+    """Build the Coloring execution trace from histogram tables.
+
+    Scalar semantics replayed exactly, per wave ``r``:
+
+    * a local edge does work iff either endpoint is still uncoloured at
+      round start, i.e. iff ``max(cr[u], cr[v]) >= r`` — a suffix sum of
+      the per-machine histogram of edge ``max(cr)`` values;
+    * a machine applies the wave's winners it masters — the per-machine
+      histogram of winner rounds;
+    * sync traffic covers replicated still-uncoloured vertices
+      (``cr >= r``) — suffix sums of presence/master/copies histograms.
+
+    All histograms count integers, so every emitted float64 equals the
+    scalar loop's value.
+    """
+    from repro.engine.trace import ExecutionTrace, MachinePhase, SuperstepTrace
+
+    graph = dgraph.graph
+    n = graph.num_vertices
+    m = dgraph.num_machines
+    colors, rounds_log = cached_coloring(app, graph)
+    rounds = len(rounds_log)
+
+    trace = ExecutionTrace(app=app.name, num_machines=m)
+    if rounds:
+        cr = _color_round(n, rounds_log)
+        width = rounds + 1
+
+        # Edge work: histogram of max(cr) per machine, suffix-summed.
+        view = machine_edges(dgraph)
+        if view.src.size:
+            edge_max = np.maximum(cr[view.src], cr[view.dst])
+            ehist = np.bincount(
+                view.machine_ids.astype(np.int64) * width + edge_max,
+                minlength=m * width,
+            ).reshape(m, width)
+        else:
+            ehist = np.zeros((m, width), dtype=np.int64)
+        edge_ops_table = _suffix_sums(ehist.astype(np.float64))
+
+        # Winner applies: per-machine histogram of winner rounds.  Vertices
+        # with cr == rounds were never winners; masters of -1 are dropped.
+        mastered = dgraph.master >= 0
+        vhist = np.bincount(
+            dgraph.master[mastered].astype(np.int64) * width + cr[mastered],
+            minlength=m * width,
+        ).reshape(m, width)
+        vertex_ops_table = vhist.astype(np.float64)
+
+        comm_table = _coloring_comm_table(
+            dgraph, cr, rounds, app.cost.value_bytes
+        )
+
+        working_set = dgraph.working_set_mb
+        for r in range(rounds):
+            phases = []
+            for i in range(m):
+                work = app.cost.work(
+                    edge_ops=float(edge_ops_table[i, r]),
+                    vertex_ops=float(vertex_ops_table[i, r]),
+                    working_set_mb=float(working_set[i]),
+                )
+                phases.append(
+                    MachinePhase(work=work, comm_bytes=float(comm_table[i, r]))
+                )
+            trace.append(
+                SuperstepTrace(
+                    phases=phases, sync_rounds=app.cost.sync_rounds, label="wave"
+                )
+            )
+
+    trace.result = {
+        "colors": colors,
+        "num_colors": int(colors.max(initial=0)) + 1,
+        "rounds": rounds,
+    }
+    return trace
+
+
+def _coloring_comm_table(
+    dgraph: "DistributedGraph",
+    cr: NDArray[np.int64],
+    rounds: int,
+    value_bytes: int,
+) -> NDArray[np.float64]:
+    """Per-(machine, round) sync bytes over the shrinking uncoloured set.
+
+    For round ``r`` the scalar path counts, over replicated vertices with
+    ``cr >= r``: presence legs minus local-master legs plus remote-mirror
+    legs.  Binning each term by ``cr`` and suffix-summing reproduces every
+    round's totals in one pass.
+    """
+    m = dgraph.num_machines
+    width = rounds + 1
+    replicated = dgraph.replica_counts > 1
+    if not np.any(replicated):
+        return np.zeros((m, rounds), dtype=np.float64)
+    cr_rep = cr[replicated]
+    masters = dgraph.master[replicated].astype(np.int64)
+    copies = dgraph.replica_counts[replicated]
+    presence = dgraph.presence[replicated]
+
+    presence_hist = np.zeros((m, width), dtype=np.float64)
+    for i in range(m):
+        presence_hist[i] = np.bincount(
+            cr_rep, weights=presence[:, i].astype(np.float64), minlength=width
+        )
+    flat = masters * width + cr_rep
+    master_hist = np.bincount(flat, minlength=m * width).reshape(m, width)
+    mirror_hist = np.bincount(
+        flat, weights=(copies - 1).astype(np.float64), minlength=m * width
+    ).reshape(m, width)
+
+    legs = (
+        _suffix_sums(presence_hist)
+        - _suffix_sums(master_hist.astype(np.float64))
+        + _suffix_sums(mirror_hist)
+    )
+    return legs[:, :rounds] * float(value_bytes)

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import PartitionError
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import vectorized_enabled
+from repro.kernels.cache import assignment_cache, graph_fingerprint
 from repro.obs import context as obs
 from repro.utils.validation import check_array_1d
 
@@ -139,6 +141,28 @@ class Partitioner(abc.ABC):
         if num_machines < 1:
             raise PartitionError("num_machines must be >= 1")
         w = normalize_weights(weights, num_machines)
+        # Content-keyed assignment memo (vectorized backend only).  Skipped
+        # whenever an observer is installed so observed runs execute for
+        # real and their span streams stay complete.
+        cache_key: Optional[Tuple[Any, ...]] = None
+        if vectorized_enabled() and not obs.is_enabled():
+            cache_key = (
+                "assignment",
+                self.name,
+                self._config_key(),
+                graph_fingerprint(graph),
+                num_machines,
+                w.tobytes(),
+            )
+            cached = assignment_cache.get(cache_key)
+            if cached is not None:
+                return PartitionResult(
+                    graph=graph,
+                    assignment=cached,
+                    num_machines=num_machines,
+                    algorithm=self.name,
+                    weights=w,
+                )
         with obs.span(
             f"partition/{self.name}",
             algorithm=self.name,
@@ -155,6 +179,12 @@ class Partitioner(abc.ABC):
             algorithm=self.name,
             weights=w,
         )
+        if cache_key is not None:
+            # PartitionResult.__post_init__ already produced a contiguous
+            # int32 array; freeze it so every consumer (current and cached)
+            # shares one immutable copy.
+            result.assignment.setflags(write=False)
+            assignment_cache.put(cache_key, result.assignment)
         if obs.is_enabled():
             counts = result.edges_per_machine()
             obs.counter_add(
@@ -176,6 +206,15 @@ class Partitioner(abc.ABC):
                 edges_per_machine=counts.tolist(),
             )
         return result
+
+    def _config_key(self) -> Tuple[Tuple[str, str], ...]:
+        """Hashable identity of this partitioner's full configuration.
+
+        ``repr`` of every instance attribute (seed included) — two
+        partitioners with equal config keys produce identical assignments,
+        which is what makes the assignment memo sound.
+        """
+        return tuple(sorted((k, repr(v)) for k, v in vars(self).items()))
 
     @abc.abstractmethod
     def _assign(

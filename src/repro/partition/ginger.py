@@ -27,6 +27,8 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import vectorized_enabled
+from repro.kernels.csr import concat_ranges
 from repro.obs import context as obs
 from repro.partition.base import Partitioner
 from repro.partition.hybrid import DEFAULT_DEGREE_THRESHOLD, HybridPartitioner
@@ -116,9 +118,16 @@ class GingerPartitioner(Partitioner):
             # Per-(vertex, machine) in-neighbour co-location counts.
             degs = in_indptr[chunk + 1] - in_indptr[chunk]
             rows = np.repeat(np.arange(chunk.size), degs)
-            flat_nbrs = np.concatenate(
-                [in_nbrs[in_indptr[v] : in_indptr[v + 1]] for v in chunk]
-            ) if chunk.size else np.empty(0, dtype=np.int64)
+            if vectorized_enabled():
+                # Same concatenation, one fancy-index instead of a python
+                # loop over chunk vertices.
+                flat_nbrs = in_nbrs[
+                    concat_ranges(in_indptr[chunk], in_indptr[chunk + 1])
+                ]
+            else:
+                flat_nbrs = np.concatenate(
+                    [in_nbrs[in_indptr[v] : in_indptr[v + 1]] for v in chunk]
+                ) if chunk.size else np.empty(0, dtype=np.int64)
             nbr_mach = vertex_machine[flat_nbrs]
             co = np.zeros((chunk.size, m), dtype=np.float64)
             ok = nbr_mach >= 0
@@ -144,7 +153,24 @@ class GingerPartitioner(Partitioner):
             # Move each chunk vertex (and its grouped in-edges) if improved.
             prev = vertex_machine[chunk]
             moved = choice != prev
-            if np.any(moved):
+            if np.any(moved) and vectorized_enabled():
+                # Batched move application.  Chunk vertices are distinct and
+                # their in-edge ranges disjoint, and all count updates are
+                # integer-valued float64 (exact), so this reproduces the
+                # scalar per-vertex sequence bit for bit.
+                mv = chunk[moved]
+                new_mach = choice[moved]
+                old_mach = vertex_machine[mv].astype(np.int64)
+                starts, stops = in_indptr[mv], in_indptr[mv + 1]
+                lens = (stops - starts).astype(np.float64)
+                eids = in_edge_ids[concat_ranges(starts, stops)]
+                assignment[eids] = np.repeat(new_mach, stops - starts)
+                vertex_machine[mv] = new_mach
+                edge_count -= np.bincount(old_mach, weights=lens, minlength=m)
+                edge_count += np.bincount(new_mach, weights=lens, minlength=m)
+                vertex_count -= np.bincount(old_mach, minlength=m)
+                vertex_count += np.bincount(new_mach, minlength=m)
+            elif np.any(moved):
                 for v, new in zip(chunk[moved], choice[moved]):
                     lo, hi = in_indptr[v], in_indptr[v + 1]
                     eids = in_edge_ids[lo:hi]

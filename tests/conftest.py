@@ -18,6 +18,18 @@ from repro.graph.digraph import DiGraph
 from repro.powerlaw.generator import generate_power_law_graph
 
 
+@pytest.fixture(autouse=True)
+def _kernel_isolation():
+    """Per-test kernel-state hygiene: empty caches, default backend."""
+    from repro.kernels.backend import default_backend, set_backend
+    from repro.kernels.cache import clear_all_caches
+
+    clear_all_caches()
+    set_backend(default_backend())
+    yield
+    clear_all_caches()
+
+
 @pytest.fixture
 def tiny_graph() -> DiGraph:
     """Seven edges over five vertices, with a parallel edge and a hub."""

@@ -1,0 +1,144 @@
+"""Differential equivalence: scalar vs vectorized kernel backends.
+
+The PR-4 contract (DESIGN.md §11): every artefact the library emits —
+partition assignments, ExecutionTrace canonical JSON, CCR estimates,
+experiment rows — must be **bit-identical** under both backends.  These
+tests run the full pipeline twice, once per backend, and compare bytes,
+over every app × partitioner combination and a set of degenerate graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import DEFAULT_APPS, make_app
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.core.profiler import ProxyProfiler
+from repro.core.proxy import ProxySet
+from repro.engine.distributed_graph import DistributedGraph
+from repro.graph.digraph import DiGraph
+from repro.kernels.backend import use_backend
+from repro.kernels.cache import assignment_cache, clear_all_caches
+from repro.partition import make_partitioner
+from repro.powerlaw.generator import generate_power_law_graph
+
+PARTITIONERS = ("random_hash", "grid", "oblivious", "hybrid", "ginger")
+#: Deliberately non-uniform: exercises the weighted paths of every
+#: partitioner and the heterogeneity-aware balance terms.
+WEIGHTS = (1.0, 2.0, 1.5, 0.5)
+NUM_MACHINES = 4
+
+
+@pytest.fixture(scope="module")
+def pl_graph() -> DiGraph:
+    return generate_power_law_graph(num_vertices=300, alpha=2.0, seed=11)
+
+
+def _edge_case_graphs():
+    empty = np.empty(0, dtype=np.int64)
+    return {
+        "no_edges": DiGraph(5, empty, empty),
+        "single_vertex": DiGraph(1, empty, empty),
+        # Two triangles plus isolated vertices 6-8.
+        "disconnected": DiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], num_vertices=9
+        ),
+        # Parallel edges, reciprocal pair and self loops.
+        "duplicates": DiGraph.from_edges(
+            [(0, 0), (0, 1), (0, 1), (1, 0), (2, 2), (1, 2), (1, 2), (3, 1)],
+            num_vertices=4,
+        ),
+    }
+
+
+def _run_pipeline(app_name, partitioner_name, graph, backend):
+    """Partition + execute under one backend, from cold caches."""
+    clear_all_caches()
+    with use_backend(backend):
+        part = make_partitioner(partitioner_name, seed=3)
+        res = part.partition(graph, NUM_MACHINES, np.array(WEIGHTS))
+        dgraph = DistributedGraph(res)
+        trace = make_app(app_name).execute(dgraph)
+    return res.assignment.copy(), trace.canonical_json()
+
+
+@pytest.mark.parametrize("partitioner_name", PARTITIONERS)
+@pytest.mark.parametrize("app_name", DEFAULT_APPS)
+def test_trace_bit_identical(app_name, partitioner_name, pl_graph):
+    """Every app × partitioner: same assignment bytes, same trace JSON."""
+    a_scalar, t_scalar = _run_pipeline(
+        app_name, partitioner_name, pl_graph, "scalar"
+    )
+    a_vec, t_vec = _run_pipeline(
+        app_name, partitioner_name, pl_graph, "vectorized"
+    )
+    assert np.array_equal(a_scalar, a_vec)
+    assert t_scalar == t_vec
+
+
+@pytest.mark.parametrize("partitioner_name", ("random_hash", "ginger"))
+@pytest.mark.parametrize("app_name", DEFAULT_APPS)
+@pytest.mark.parametrize("graph_name", sorted(_edge_case_graphs()))
+def test_edge_case_graphs_bit_identical(app_name, partitioner_name, graph_name):
+    """Degenerate graphs (no edges, singleton, disconnected, duplicates)."""
+    graph = _edge_case_graphs()[graph_name]
+    a_scalar, t_scalar = _run_pipeline(
+        app_name, partitioner_name, graph, "scalar"
+    )
+    a_vec, t_vec = _run_pipeline(
+        app_name, partitioner_name, graph, "vectorized"
+    )
+    assert np.array_equal(a_scalar, a_vec)
+    assert t_scalar == t_vec
+
+
+def test_profiler_ccr_identical():
+    """Proxy-profiled CCR pools match to the last bit across backends."""
+    slow = MachineSpec("slow", hw_threads=4, freq_ghz=2.0, mem_bw_gbs=8.0,
+                       llc_mb=4.0)
+    fast = MachineSpec("fast", hw_threads=8, freq_ghz=3.2, mem_bw_gbs=20.0,
+                       llc_mb=12.0)
+    pools = {}
+    for backend in ("scalar", "vectorized"):
+        clear_all_caches()
+        with use_backend(backend):
+            profiler = ProxyProfiler(
+                proxies=ProxySet(num_vertices=400, seed=5),
+                apps=("pagerank", "connected_components"),
+            )
+            report = profiler.profile(Cluster([slow, fast]))
+            pools[backend] = {
+                app: report.pool.get(app).as_dict()
+                for app in report.pool.apps()
+            }
+    assert pools["scalar"] == pools["vectorized"]
+
+
+def test_fig8a_rows_identical():
+    """A whole experiment driver produces identical rows on both backends."""
+    from repro.experiments.fig8 import run_fig8a
+
+    rows = {}
+    for backend in ("scalar", "vectorized"):
+        clear_all_caches()
+        with use_backend(backend):
+            result = run_fig8a(scale=0.002, apps=("pagerank",), seed=100)
+            rows[backend] = result.rows()
+    assert rows["scalar"] == rows["vectorized"]
+
+
+def test_vectorized_cache_hits_preserve_results(pl_graph):
+    """A warm-cache rerun returns the bytes the cold run produced."""
+    with use_backend("vectorized"):
+        clear_all_caches()
+        outputs = []
+        for _ in range(2):
+            part = make_partitioner("hybrid", seed=3)
+            res = part.partition(pl_graph, NUM_MACHINES, np.array(WEIGHTS))
+            trace = make_app("coloring").execute(DistributedGraph(res))
+            outputs.append((res.assignment.copy(), trace.canonical_json()))
+        assert assignment_cache.hits >= 1  # the rerun actually hit
+    assert np.array_equal(outputs[0][0], outputs[1][0])
+    assert outputs[0][1] == outputs[1][1]
