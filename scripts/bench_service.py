@@ -1,0 +1,161 @@
+"""Benchmark the job service under three arrival rates (BENCH_PR5.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_service.py --scale 0.01
+
+Replays a seeded 60-job Poisson workload through the job service at
+three arrival rates (light, saturating, overload) on the two-machine EC2
+pair and records throughput (completed jobs per simulated hour), p99
+latency and the rejection rate, plus informational wall-clock seconds.
+
+The service metrics are *simulated* quantities — deterministic functions
+of (workload seed, cluster, policy) — so ``--check`` holds them to the
+checked-in baseline within a tiny float tolerance: any drift means the
+service's scheduling behaviour changed, which is exactly what the gate
+is for.  Wall-clock time is recorded but never gated.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+
+#: Relative tolerance for the determinism gate on simulated metrics.
+REL_TOL = 1e-6
+
+#: (name, mean interarrival gap in simulated seconds).  Mean service
+#: time at scale 0.01 is roughly 0.2 simulated seconds per job, so the
+#: three rates sit below, at, and well above the service rate.
+ARRIVAL_RATES = (
+    ("light", 0.5),
+    ("saturating", 0.2),
+    ("overload", 0.05),
+)
+
+NUM_JOBS = 60
+SEED = 11
+
+
+def _cluster(scale):
+    from repro.cluster.catalog import get_machine
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.perfmodel import PerformanceModel
+
+    return Cluster(
+        [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+        perf=PerformanceModel(model_scale=scale),
+    )
+
+
+def run_bench(scale):
+    from repro.kernels.cache import clear_all_caches
+    from repro.service import JobService, ServicePolicy, generate_workload
+
+    entry = {"jobs": NUM_JOBS, "seed": SEED, "rates": {}}
+    for name, gap in ARRIVAL_RATES:
+        clear_all_caches()
+        workload = generate_workload(
+            NUM_JOBS,
+            seed=SEED,
+            mean_interarrival_s=gap,
+            deadline_fraction=0.2,
+            fault_fraction=0.1,
+            crash_rate=0.01,
+        )
+        service = JobService(
+            _cluster(scale), policy=ServicePolicy(max_queue_depth=8)
+        )
+        started = time.perf_counter()  # repro: allow[DET001]
+        summary = service.run_workload(workload).summary()
+        elapsed = time.perf_counter() - started  # repro: allow[DET001]
+        entry["rates"][name] = {
+            "mean_interarrival_s": gap,
+            "throughput_jobs_per_sim_hour": round(
+                summary["throughput_jobs_per_sim_hour"], 3
+            ),
+            "latency_p99_s": round(summary["latency_p99_s"], 9),
+            "rejection_rate": round(summary["rejection_rate"], 6),
+            "wall_seconds": round(elapsed, 3),
+        }
+        print(
+            f"{name} (1/{gap}s): "
+            f"{entry['rates'][name]['throughput_jobs_per_sim_hour']:.0f} "
+            f"jobs/sim-hour, p99 {summary['latency_p99_s'] * 1e3:.3f} ms, "
+            f"rejection {summary['rejection_rate'] * 100:.1f}%, "
+            f"wall {elapsed:.2f}s"
+        )
+    return entry
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"bench": "job service under load (repro serve)", "runs": {}}
+
+
+GATED_METRICS = (
+    "throughput_jobs_per_sim_hour",
+    "latency_p99_s",
+    "rejection_rate",
+)
+
+
+def check(scale):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale)
+    failures = []
+    for name, measured in sorted(entry["rates"].items()):
+        recorded = baseline["rates"].get(name)
+        if recorded is None:
+            failures.append(f"{name}: no baseline entry")
+            continue
+        for metric in GATED_METRICS:
+            want, got = recorded[metric], measured[metric]
+            tol = REL_TOL * max(1.0, abs(want))
+            if abs(got - want) > tol:
+                failures.append(
+                    f"{name}.{metric}: {got!r} != baseline {want!r} "
+                    "(simulated metrics are deterministic; a drift means "
+                    "the scheduling behaviour changed)"
+                )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(f"check passed at scale {scale}: service behaviour unchanged")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="performance-model scale for the cluster")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale))
+
+    doc = load_doc()
+    doc.setdefault("runs", {})[str(args.scale)] = run_bench(args.scale)
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

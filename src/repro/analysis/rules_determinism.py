@@ -259,6 +259,7 @@ class UnorderedIterationRule:
         "repro.core",
         "repro.obs",
         "repro.kernels",
+        "repro.service",
     )
 
     _VIEWS = frozenset({"items", "keys", "values"})

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's main entry points without writing code:
+Nine commands cover the library's main entry points without writing code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
@@ -16,6 +16,12 @@ Seven commands cover the library's main entry points without writing code:
   and save/inspect it for replay with ``process --fault-schedule``.
 * ``experiment``— regenerate one of the paper's tables/figures
   (``--obs-dir`` records spans/metrics/provenance alongside).
+* ``workload``  — sample a seeded open-loop (Poisson) job stream and
+  write it as a replayable workload JSON file.
+* ``serve``     — replay a workload file through the multi-tenant job
+  service: admission control, deadlines, retries, circuit breakers and
+  load shedding over the resilient runtime (DESIGN.md §12).  Malformed
+  workload files exit 2 with the offending ``jobs[i]`` record named.
 * ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
 * ``lint``      — run the AST-based determinism & contract linter over
   the tree (text or ``--json``; exit 0 clean, 1 findings, 2 error).
@@ -66,6 +72,17 @@ def _rate(text: str) -> float:
     value = _nonnegative_float(text)
     if value > 1.0:
         raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: strictly positive number (seconds, rates > 0)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -345,6 +362,181 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_workload(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import generate_workload
+
+    try:
+        workload = generate_workload(
+            num_jobs=args.jobs,
+            seed=args.seed,
+            mean_interarrival_s=args.mean_interarrival,
+            apps=tuple(
+                a.strip() for a in args.apps.split(",") if a.strip()
+            ),
+            graph_sizes=tuple(
+                int(s) for s in args.graph_sizes.split(",") if s.strip()
+            ),
+            priorities=args.priorities,
+            deadline_fraction=args.deadline_fraction,
+            deadline_min_s=args.deadline_min,
+            deadline_max_s=args.deadline_max,
+            fault_fraction=args.fault_fraction,
+            crash_rate=args.crash_rate,
+            slowdown_rate=args.slowdown_rate,
+            hot_machine=args.hot_machine,
+            hot_fraction=args.hot_fraction,
+            hot_repeats=args.hot_repeats,
+        )
+    except (ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workload.save(args.output)
+    with_deadline = sum(1 for j in workload.jobs if j.deadline_s is not None)
+    faulted = sum(
+        1
+        for j in workload.jobs
+        if j.faults is not None or j.fault_rates is not None
+    )
+    span = workload.jobs[-1].submit_s if workload.jobs else 0.0
+    print(
+        f"wrote {args.output}: {workload.num_jobs} job(s) over "
+        f"{span:.4f} simulated seconds "
+        f"({with_deadline} with deadlines, {faulted} with faults, "
+        f"seed {workload.seed})"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from contextlib import nullcontext
+    from dataclasses import replace as _dc_replace
+
+    from repro.errors import ClusterError, ServiceError, WorkloadFormatError
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.service import (
+        BreakerPolicy,
+        JobService,
+        ServicePolicy,
+        Workload,
+    )
+    from repro.utils.tables import format_table
+
+    try:
+        cluster = _build_cluster(args.cluster, args.scale)
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        workload = Workload.load(args.workload)
+    except WorkloadFormatError as exc:
+        print(f"error: workload {args.workload}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read workload: {exc}", file=sys.stderr)
+        return 2
+
+    if args.deadline is not None:
+        # A blanket deadline for jobs that do not carry their own.
+        workload = Workload(
+            jobs=tuple(
+                job
+                if job.deadline_s is not None
+                else _dc_replace(job, deadline_s=args.deadline)
+                for job in workload.jobs
+            ),
+            seed=workload.seed,
+        )
+    if args.seed is not None:
+        workload = Workload(jobs=workload.jobs, seed=args.seed)
+
+    try:
+        policy = ServicePolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_projected_wait_s=args.max_projected_wait,
+            shed_queue_depth=args.shed_depth,
+            shed_priority_max=args.shed_priority_max,
+            shed_iteration_cap=args.shed_cap,
+            max_attempts=args.max_attempts,
+        )
+        breaker = BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    estimator = (
+        _make_estimator(args.policy, args.scale)
+        if args.policy != "default"
+        else None
+    )
+    observer = None
+    observed = nullcontext()
+    if args.obs_dir:
+        from repro.obs import Observer, enabled
+
+        observer = Observer()
+        observed = enabled(observer)
+
+    with observed:
+        service = JobService(
+            cluster,
+            policy=policy,
+            breaker_policy=breaker,
+            estimator=estimator,
+            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+        )
+        result = service.run_workload(workload)
+
+    summary = result.summary()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [(k, v) for k, v in sorted(summary.items())]
+        print(
+            format_table(
+                headers=("metric", "value"),
+                rows=rows,
+                title=(
+                    f"service replay: {workload.num_jobs} job(s) on "
+                    f"{args.cluster} (seed {workload.seed})"
+                ),
+            )
+        )
+        if result.breaker_events:
+            print(
+                format_table(
+                    headers=("t (s)", "machine", "transition", "reason"),
+                    rows=[
+                        (
+                            f"{e.time_s:.4f}",
+                            e.machine,
+                            f"{e.from_state} -> {e.to_state}",
+                            e.reason,
+                        )
+                        for e in result.breaker_events
+                    ],
+                    title="breaker transitions",
+                )
+            )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(result.trace_json() + "\n")
+        print(f"service trace written to {args.trace_out}")
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        write_run_artifacts(
+            observer, args.obs_dir, config=_obs_config(args), trace=result
+        )
+        print(f"observability artifacts: {args.obs_dir}")
+    return 0
+
+
 _EXPERIMENTS = {
     "table1": ("repro.experiments.table1", "run_table1", False),
     "table2": ("repro.experiments.table2", "run_table2", True),
@@ -356,6 +548,7 @@ _EXPERIMENTS = {
     "fig10a": ("repro.experiments.fig10", "run_case2", True),
     "fig10b": ("repro.experiments.fig10", "run_case3", True),
     "fig11": ("repro.experiments.fig11", "run_fig11", True),
+    "service_demo": ("repro.experiments.service_demo", "run_service_demo", True),
 }
 
 
@@ -570,6 +763,88 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-superstep network degradation probability")
     flt.add_argument("--output", help="write the schedule JSON here")
     flt.set_defaults(func=cmd_faults)
+
+    wkl = sub.add_parser(
+        "workload", help="sample a seeded open-loop job stream (JSON)"
+    )
+    wkl.add_argument("--jobs", type=_positive_int, default=50)
+    wkl.add_argument("--seed", type=int, default=0)
+    wkl.add_argument("--mean-interarrival", type=_positive_float,
+                     default=0.001,
+                     help="mean exponential gap between submissions "
+                     "(simulated seconds)")
+    wkl.add_argument("--apps", default="pagerank,connected_components",
+                     help="comma-separated application mix")
+    wkl.add_argument("--graph-sizes", default="600,900,1200",
+                     help="comma-separated synthetic graph sizes")
+    wkl.add_argument("--priorities", type=_positive_int, default=3,
+                     help="priorities drawn uniformly from 0..N-1")
+    wkl.add_argument("--deadline-fraction", type=_rate, default=0.0,
+                     help="fraction of jobs given a deadline")
+    wkl.add_argument("--deadline-min", type=_positive_float, default=0.005)
+    wkl.add_argument("--deadline-max", type=_positive_float, default=0.05)
+    wkl.add_argument("--fault-fraction", type=_rate, default=0.0,
+                     help="fraction of jobs carrying seeded fault rates")
+    wkl.add_argument("--crash-rate", type=_rate, default=0.01)
+    wkl.add_argument("--slowdown-rate", type=_rate, default=0.0)
+    wkl.add_argument("--hot-machine", type=int, default=None,
+                     help="machine slot that repeatedly crashes in a "
+                     "fraction of jobs (breaker demo)")
+    wkl.add_argument("--hot-fraction", type=_rate, default=0.0)
+    wkl.add_argument("--hot-repeats", type=_positive_int, default=1)
+    wkl.add_argument("--output", required=True,
+                     help="workload JSON path (replay with `repro serve`)")
+    wkl.set_defaults(func=cmd_workload)
+
+    srv = sub.add_parser(
+        "serve", help="replay a workload through the job service "
+        "(DESIGN.md §12)"
+    )
+    srv.add_argument("--cluster", required=True,
+                     help="comma-separated machine types")
+    srv.add_argument("--workload", required=True,
+                     help="workload JSON file (see the `workload` command)")
+    srv.add_argument("--scale", type=_model_scale, default=0.01)
+    srv.add_argument("--seed", type=int, default=None,
+                     help="override the workload's service seed")
+    srv.add_argument("--deadline", type=_positive_float, default=None,
+                     help="blanket deadline (seconds after submission) for "
+                     "jobs without their own; must be > 0")
+    srv.add_argument("--policy", default="default",
+                     choices=("default", "threads", "ccr", "oracle"),
+                     help="capability estimator for base partition weights")
+    srv.add_argument("--max-queue-depth", type=_positive_int, default=8)
+    srv.add_argument("--max-projected-wait", type=_positive_float,
+                     default=None,
+                     help="reject arrivals whose projected wait exceeds "
+                     "this many simulated seconds")
+    srv.add_argument("--shed-depth", type=_positive_int, default=6,
+                     help="backlog at which low-priority jobs run degraded")
+    srv.add_argument("--shed-priority-max", type=int, default=0,
+                     help="jobs with priority <= this are sheddable")
+    srv.add_argument("--shed-cap", type=_positive_int, default=10,
+                     help="iteration budget for degraded runs")
+    srv.add_argument("--max-attempts", type=_positive_int, default=2,
+                     help="service-level run attempts per job")
+    srv.add_argument("--breaker-threshold", type=_positive_int, default=3,
+                     help="consecutive failures that open a machine breaker")
+    srv.add_argument("--breaker-cooldown", type=_positive_float, default=30.0,
+                     help="simulated seconds before an open breaker probes")
+    srv.add_argument("--checkpoint-interval", type=int, default=10,
+                     help="supersteps between checkpoints under faults "
+                     "(0 disables)")
+    srv.add_argument("--json", action="store_true",
+                     help="print the metrics summary as JSON")
+    srv.add_argument("--trace-out",
+                     help="write the byte-reproducible service trace JSON "
+                     "here")
+    srv.add_argument("--obs-dir",
+                     help="record spans + metrics + service trace + config "
+                     "into this run directory")
+    srv.add_argument("--backend", choices=VALID_BACKENDS,
+                     help="kernel backend (default: vectorized, or "
+                     "$REPRO_KERNEL_BACKEND); results are bit-identical")
+    srv.set_defaults(func=cmd_serve)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))

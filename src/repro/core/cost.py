@@ -11,7 +11,7 @@ sizes are the sensible picks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.apps.registry import DEFAULT_APPS, make_app
 from repro.cluster.cluster import Cluster
@@ -19,9 +19,17 @@ from repro.cluster.machine import MachineSpec
 from repro.core.proxy import ProxySet
 from repro.engine.report import simulate_execution
 from repro.engine.runtime import GraphProcessingSystem
+from repro.engine.trace import ExecutionTrace
+from repro.engine.vertex_program import GraphApplication
 from repro.errors import ClusterError
+from repro.graph.digraph import DiGraph
 
-__all__ = ["CostPoint", "cost_efficiency", "pareto_front"]
+__all__ = [
+    "CostPoint",
+    "cost_efficiency",
+    "pareto_front",
+    "projected_runtime_seconds",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,55 @@ def cost_efficiency(
                 )
             )
     return points
+
+
+def projected_runtime_seconds(
+    cluster: Cluster,
+    app: Union[str, GraphApplication],
+    graph: DiGraph,
+    trace: Optional[ExecutionTrace] = None,
+) -> float:
+    """CCR-priced a-priori runtime estimate for one (app, graph, cluster).
+
+    The same pricing primitive Fig. 11 uses, turned into a capacity
+    estimate: capture (or accept) the app's single-machine trace, price it
+    solo on each of the cluster's machines, and combine the per-machine
+    times as parallel capabilities — machine ``i`` finishing the whole job
+    alone in ``t_i`` seconds contributes rate ``1/t_i``, so a perfectly
+    CCR-balanced partition finishes in ``1 / sum(1/t_i)``.
+
+    This is a deliberate *lower bound*: it prices pure compute under the
+    ideal Eq. 1 split and ignores mirror synchronisation and barrier
+    slack.  The job service uses it for admission control and deadline
+    projection, where an optimistic bound errs on the side of admitting
+    (overruns are then caught by the actual simulated runtime).
+
+    Parameters
+    ----------
+    cluster:
+        Machines the job would run on.
+    app:
+        Application name or instance.
+    graph:
+        The job's input graph.
+    trace:
+        Optional pre-captured single-machine trace of ``app`` on
+        ``graph`` (callers that cache traces pass it to skip re-execution).
+    """
+    application = make_app(app) if isinstance(app, str) else app
+    if trace is None:
+        trace = GraphProcessingSystem(cluster).run_single_machine(
+            application, graph
+        )
+    rate = 0.0
+    for m in cluster.machines:
+        solo = Cluster([m], network=cluster.network, perf=cluster.perf)
+        seconds = simulate_execution(trace, solo).runtime_seconds
+        if seconds > 0.0:
+            rate += 1.0 / seconds
+    if rate == 0.0:
+        return 0.0
+    return 1.0 / rate
 
 
 def pareto_front(points: Iterable[CostPoint]) -> List[CostPoint]:

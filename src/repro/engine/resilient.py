@@ -88,6 +88,11 @@ class FaultRecord:
     superstep: int
     seconds: float
     detail: str = ""
+    #: Machine slots the event concerns (crashed machines, straggler
+    #: slots); empty for cluster-wide events like checkpoints.  Structured
+    #: so downstream consumers (the job service's circuit breakers) never
+    #: have to parse ``detail``.
+    machines: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -280,6 +285,7 @@ def simulate_resilient_execution(
                             seconds=0.0,
                             detail=f"machine {key[1]} exhausted "
                             f"{retry.max_retries} retries",
+                            machines=(key[1],),
                         )
                     )
                     obs.event(
@@ -309,6 +315,7 @@ def simulate_resilient_execution(
                     seconds=pause,
                     detail=f"machines {sorted(k[1] for k in crashed)} lost "
                     f"superstep {s}; replay from {last_checkpoint}",
+                    machines=tuple(sorted(k[1] for k in crashed)),
                 )
             )
             if obs.is_enabled():
@@ -369,6 +376,7 @@ def simulate_resilient_execution(
                             detail="re-partitioned onto degradation-"
                             "discounted weights "
                             f"(stragglers {supervisor.report.slots})",
+                            machines=tuple(supervisor.report.slots),
                         )
                     )
                     if obs.is_enabled():

@@ -18,6 +18,9 @@ __all__ = [
     "ConvergenceError",
     "FaultError",
     "RecoveryError",
+    "ServiceError",
+    "WorkloadFormatError",
+    "DeadlineExceeded",
 ]
 
 
@@ -69,4 +72,21 @@ class RecoveryError(FaultError):
     Raised by the resilient pricing path when a machine keeps crashing past
     the retry policy's bound; the run is declared failed rather than being
     replayed forever.
+    """
+
+
+class ServiceError(ReproError):
+    """Invalid job-service configuration or request (repro.service)."""
+
+
+class WorkloadFormatError(ServiceError):
+    """Malformed workload file; the message points at the bad record."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A job missed its deadline and was cancelled cleanly.
+
+    The job service converts this into a typed ``deadline_exceeded``
+    outcome on the job record rather than letting it escape; it is public
+    so direct library users can catch the cancellation explicitly.
     """

@@ -100,12 +100,20 @@ class RetryPolicy:
         Fraction of the backoff added as seeded uniform noise in
         ``[0, jitter)`` — deterministic given the pricing RNG, so priced
         reports stay reproducible.
+    full_jitter:
+        Switches to AWS-style *full jitter*: the pause is drawn uniformly
+        from ``[0, base)`` where ``base`` is the exponential backoff for
+        the attempt.  Full jitter decorrelates retry storms across many
+        concurrent tenants, which is why the job service uses it; the
+        default keeps the original bounded-jitter shape.  ``jitter`` is
+        ignored in this mode.
     """
 
     max_retries: int = 3
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
     jitter: float = 0.1
+    full_jitter: bool = False
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -122,6 +130,8 @@ class RetryPolicy:
         if attempt < 1:
             raise FaultError("attempt must be >= 1")
         base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.full_jitter:
+            return float(rng.uniform(0.0, base))
         if self.jitter == 0.0:
             return base
         return base * (1.0 + float(rng.uniform(0.0, self.jitter)))

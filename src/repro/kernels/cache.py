@@ -41,6 +41,7 @@ from collections import OrderedDict
 from dataclasses import astuple
 from typing import Any, Dict, Hashable, Optional, Tuple
 
+from repro.cluster.cluster import Cluster
 from repro.cluster.machine import MachineSpec
 from repro.cluster.perfmodel import PerformanceModel
 from repro.graph.digraph import DiGraph
@@ -50,7 +51,9 @@ __all__ = [
     "assignment_cache",
     "cache_stats",
     "clear_all_caches",
+    "cluster_key",
     "dgraph_cache",
+    "estimate_cache",
     "graph_fingerprint",
     "graph_memo",
     "machine_key",
@@ -113,11 +116,19 @@ assignment_cache = LRUCache(maxsize=32)
 #: (fingerprint, assignment digest, machines, seed) -> DistributedGraph.
 dgraph_cache = LRUCache(maxsize=32)
 
+#: (app, graph fingerprint, cluster key) -> projected runtime seconds.
+#: Shared across every job the service runs in one process; the key
+#: embeds the *full* cluster identity (machine specs, network, perf
+#: params) so two services fronting different clusters can never trade
+#: estimates (see :func:`cluster_key`).
+estimate_cache = LRUCache(maxsize=1024)
+
 _ALL_CACHES: Tuple[Tuple[str, LRUCache], ...] = (
     ("profile_trace", profile_trace_cache),
     ("machine_time", machine_time_cache),
     ("assignment", assignment_cache),
     ("dgraph", dgraph_cache),
+    ("estimate", estimate_cache),
 )
 
 
@@ -182,4 +193,19 @@ def perf_key(perf: PerformanceModel) -> Tuple[float, float, float]:
         float(perf.model_scale),
         float(perf.efficiency_decay),
         float(perf.min_miss_rate),
+    )
+
+
+def cluster_key(cluster: Cluster) -> Tuple[Any, ...]:
+    """Hashable identity of a full cluster configuration.
+
+    Covers the slot-ordered machine specs, the network model and the
+    performance-model parameters — everything that can change a priced
+    result.  Cache entries fingerprinted with this key are safe to share
+    process-wide: two different cluster specs can never collide.
+    """
+    return (
+        tuple(machine_key(m) for m in cluster.machines),
+        (float(cluster.network.bandwidth_gbs), float(cluster.network.latency_s)),
+        perf_key(cluster.perf),
     )

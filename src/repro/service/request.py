@@ -1,0 +1,494 @@
+"""Job requests, outcomes and workload files for the job service.
+
+A *workload* is the service's unit of replay: a JSON document holding a
+seed and a list of job requests, each pinning an application, a graph
+spec, a priority, an optional deadline and an optional fault scenario to
+submission time on the simulated clock.  Everything here is plain data —
+like :class:`~repro.faults.FaultSchedule`, a workload can be saved,
+shared, and replayed byte-identically.
+
+Validation is strict and *located*: a malformed record raises
+:class:`~repro.errors.WorkloadFormatError` whose message points at the
+offending ``jobs[i]`` entry, which the CLI surfaces verbatim with exit
+code 2.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import WorkloadFormatError
+from repro.faults.schedule import FaultSchedule
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "WORKLOAD_FORMAT_VERSION",
+    "GraphSpec",
+    "FaultSpec",
+    "JobRequest",
+    "JobRecord",
+    "Workload",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "STATUS_DEADLINE_EXCEEDED",
+    "STATUS_FAILED",
+    "JOB_STATUSES",
+]
+
+WORKLOAD_FORMAT_VERSION = 1
+
+#: Typed job outcomes.  Every submitted job ends in exactly one of these.
+STATUS_COMPLETED = "completed"
+STATUS_REJECTED = "rejected"
+STATUS_DEADLINE_EXCEEDED = "deadline_exceeded"
+STATUS_FAILED = "failed"
+JOB_STATUSES: Tuple[str, ...] = (
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_FAILED,
+)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Which graph a job runs on — a dataset stand-in or a synthetic.
+
+    Exactly one of ``dataset`` (+ ``scale``) or ``vertices`` (+ ``alpha``,
+    ``seed``) must be given.  Jobs with equal specs share one loaded graph
+    instance inside the service, which is what lets the content-keyed
+    kernel caches hit across tenants.
+    """
+
+    dataset: Optional[str] = None
+    scale: float = 0.01
+    vertices: Optional[int] = None
+    alpha: float = 2.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.dataset is None) == (self.vertices is None):
+            raise WorkloadFormatError(
+                "graph spec needs exactly one of 'dataset' or 'vertices'"
+            )
+        if self.dataset is not None and not 0.0 < self.scale <= 1.0:
+            raise WorkloadFormatError(
+                f"graph scale must be in (0, 1], got {self.scale}"
+            )
+        if self.vertices is not None and self.vertices < 1:
+            raise WorkloadFormatError(
+                f"graph vertices must be >= 1, got {self.vertices}"
+            )
+        if self.vertices is not None and self.alpha <= 1.0:
+            raise WorkloadFormatError(
+                f"graph alpha must be > 1, got {self.alpha}"
+            )
+
+    def key(self) -> Tuple[Any, ...]:
+        """Hashable identity for the service's graph memo."""
+        if self.dataset is not None:
+            return ("dataset", self.dataset, float(self.scale))
+        return ("synthetic", self.vertices, float(self.alpha), self.seed)
+
+    def load(self) -> DiGraph:
+        """Materialise the graph (deterministic for a given spec)."""
+        if self.dataset is not None:
+            from repro.graph.datasets import load_dataset
+
+            return load_dataset(self.dataset, scale=self.scale)
+        from repro.powerlaw.generator import generate_power_law_graph
+
+        assert self.vertices is not None
+        return generate_power_law_graph(
+            num_vertices=self.vertices, alpha=self.alpha, seed=self.seed
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        if self.dataset is not None:
+            return {"dataset": self.dataset, "scale": self.scale}
+        return {
+            "vertices": self.vertices,
+            "alpha": self.alpha,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "GraphSpec":
+        if not isinstance(payload, Mapping):
+            raise WorkloadFormatError("'graph' must be an object")
+        known = {"dataset", "scale", "vertices", "alpha", "seed"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise WorkloadFormatError(f"unknown graph spec fields {unknown}")
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise WorkloadFormatError(f"malformed graph spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded per-job fault rates, expanded into a schedule per attempt.
+
+    The service derives one :class:`~repro.faults.FaultSchedule` per run
+    *attempt* from ``(seed, attempt)``, so a retried job sees a fresh
+    (still deterministic) failure draw — retrying into the identical crash
+    forever would make retries meaningless.
+    """
+
+    crash_rate: float = 0.0
+    slowdown_rate: float = 0.0
+    network_rate: float = 0.0
+    slowdown_factor: float = 4.0
+    horizon: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "slowdown_rate", "network_rate"):
+            rate = float(getattr(self, name))
+            if not 0.0 <= rate <= 1.0:
+                raise WorkloadFormatError(
+                    f"fault {name} must be in [0, 1], got {rate}"
+                )
+        if self.horizon < 1:
+            raise WorkloadFormatError(
+                f"fault horizon must be >= 1, got {self.horizon}"
+            )
+        if self.slowdown_factor < 1.0:
+            raise WorkloadFormatError(
+                f"fault slowdown_factor must be >= 1, got "
+                f"{self.slowdown_factor}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            self.crash_rate == 0.0
+            and self.slowdown_rate == 0.0
+            and self.network_rate == 0.0
+        )
+
+    def schedule_for(self, num_machines: int, attempt: int) -> FaultSchedule:
+        """The schedule one run attempt is priced under (1-based attempt)."""
+        return FaultSchedule.generate(
+            num_machines=num_machines,
+            num_supersteps=self.horizon,
+            seed=self.seed * 1000003 + attempt,
+            crash_rate=self.crash_rate,
+            slowdown_rate=self.slowdown_rate,
+            slowdown_factor=self.slowdown_factor,
+            network_rate=self.network_rate,
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "crash_rate": self.crash_rate,
+            "slowdown_rate": self.slowdown_rate,
+            "network_rate": self.network_rate,
+            "slowdown_factor": self.slowdown_factor,
+            "horizon": self.horizon,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise WorkloadFormatError("'fault_rates' must be an object")
+        known = {
+            "crash_rate", "slowdown_rate", "network_rate",
+            "slowdown_factor", "horizon", "seed",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise WorkloadFormatError(f"unknown fault_rates fields {unknown}")
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise WorkloadFormatError(f"malformed fault_rates: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One tenant's job: what to run, when it arrives, how urgent it is.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the workload.
+    app:
+        Registered application name.
+    graph:
+        Input graph spec.
+    submit_s:
+        Arrival time on the simulated clock.
+    priority:
+        Larger = more important.  Scheduling pops the highest priority
+        first; shedding degrades the lowest priorities first.
+    deadline_s:
+        Seconds after submission by which the job must *finish*; ``None``
+        means no deadline.
+    partitioner:
+        Partitioning algorithm name (default ``hybrid``).
+    faults:
+        Optional explicit fault schedule (replayed as-is every attempt).
+    fault_rates:
+        Optional seeded fault rates (a fresh schedule per attempt).
+        Mutually exclusive with ``faults``.
+    app_args:
+        Extra application constructor arguments (e.g. a superstep budget).
+    """
+
+    job_id: str
+    app: str
+    graph: GraphSpec
+    submit_s: float = 0.0
+    priority: int = 0
+    deadline_s: Optional[float] = None
+    partitioner: str = "hybrid"
+    faults: Optional[FaultSchedule] = None
+    fault_rates: Optional[FaultSpec] = None
+    app_args: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise WorkloadFormatError("job_id must be a non-empty string")
+        if self.submit_s < 0.0:
+            raise WorkloadFormatError(
+                f"submit_s must be >= 0, got {self.submit_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise WorkloadFormatError(
+                f"deadline_s must be > 0 seconds, got {self.deadline_s}"
+            )
+        if self.faults is not None and self.fault_rates is not None:
+            raise WorkloadFormatError(
+                "give 'faults' (explicit schedule) or 'fault_rates' "
+                "(seeded rates), not both"
+            )
+
+    @property
+    def absolute_deadline_s(self) -> Optional[float]:
+        """Deadline on the simulated clock (``None`` = no deadline)."""
+        if self.deadline_s is None:
+            return None
+        return self.submit_s + self.deadline_s
+
+    def schedule_for(self, num_machines: int, attempt: int) -> Optional[FaultSchedule]:
+        """Fault schedule for one run attempt, or ``None`` for fault-free."""
+        if self.faults is not None:
+            return self.faults
+        if self.fault_rates is not None and not self.fault_rates.is_empty:
+            return self.fault_rates.schedule_for(num_machines, attempt)
+        return None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "app": self.app,
+            "graph": self.graph.to_jsonable(),
+            "submit_s": self.submit_s,
+            "priority": self.priority,
+            "partitioner": self.partitioner,
+        }
+        if self.deadline_s is not None:
+            payload["deadline_s"] = self.deadline_s
+        if self.faults is not None:
+            payload["faults"] = json.loads(self.faults.to_json())
+        if self.fault_rates is not None:
+            payload["fault_rates"] = self.fault_rates.to_jsonable()
+        if self.app_args:
+            payload["app_args"] = {
+                str(k): v for k, v in sorted(self.app_args.items())
+            }
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "JobRequest":
+        if not isinstance(payload, Mapping):
+            raise WorkloadFormatError("job record must be an object")
+        known = {
+            "job_id", "app", "graph", "submit_s", "priority", "deadline_s",
+            "partitioner", "faults", "fault_rates", "app_args",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise WorkloadFormatError(f"unknown job fields {unknown}")
+        for required in ("job_id", "app", "graph"):
+            if required not in payload:
+                raise WorkloadFormatError(f"missing required field {required!r}")
+        faults = None
+        if "faults" in payload:
+            faults = FaultSchedule.from_json(json.dumps(payload["faults"]))
+        fault_rates = None
+        if "fault_rates" in payload:
+            fault_rates = FaultSpec.from_jsonable(payload["fault_rates"])
+        app_args = payload.get("app_args", {})
+        if not isinstance(app_args, Mapping):
+            raise WorkloadFormatError("'app_args' must be an object")
+        try:
+            return cls(
+                job_id=str(payload["job_id"]),
+                app=str(payload["app"]),
+                graph=GraphSpec.from_jsonable(payload["graph"]),
+                submit_s=float(payload.get("submit_s", 0.0)),
+                priority=int(payload.get("priority", 0)),
+                deadline_s=(
+                    float(payload["deadline_s"])
+                    if payload.get("deadline_s") is not None
+                    else None
+                ),
+                partitioner=str(payload.get("partitioner", "hybrid")),
+                faults=faults,
+                fault_rates=fault_rates,
+                app_args=dict(app_args),
+            )
+        except (TypeError, ValueError) as exc:
+            raise WorkloadFormatError(f"malformed job record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """The service's verdict on one submitted job.
+
+    Accounting contract: ``charged_seconds``/``charged_energy_joules`` are
+    what the tenant pays — the full priced run when it completes, the
+    pro-rated share up to the deadline when it is cancelled mid-run, and
+    zero when the job never ran (rejection, pre-run cancellation, failed
+    attempts whose pricing walk aborted).  Service-level totals are sums
+    of these fields, which is what the conservation invariant checks.
+    """
+
+    job_id: str
+    app: str
+    status: str
+    priority: int
+    submit_s: float
+    start_s: Optional[float] = None
+    end_s: Optional[float] = None
+    charged_seconds: float = 0.0
+    charged_energy_joules: float = 0.0
+    attempts: int = 0
+    retries_backoff_s: float = 0.0
+    degraded: bool = False
+    supersteps: int = 0
+    crashes: int = 0
+    rebalanced: bool = False
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in JOB_STATUSES:
+            raise WorkloadFormatError(
+                f"unknown job status {self.status!r}; expected one of "
+                f"{JOB_STATUSES}"
+            )
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Queueing delay between submission and start (``None`` = never ran)."""
+        if self.start_s is None:
+            return None
+        return self.start_s - self.submit_s
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submission-to-finish latency (``None`` = never finished)."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.submit_s
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "app": self.app,
+            "status": self.status,
+            "priority": self.priority,
+            "submit_s": self.submit_s,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "charged_seconds": self.charged_seconds,
+            "charged_energy_joules": self.charged_energy_joules,
+            "attempts": self.attempts,
+            "retries_backoff_s": self.retries_backoff_s,
+            "degraded": self.degraded,
+            "supersteps": self.supersteps,
+            "crashes": self.crashes,
+            "rebalanced": self.rebalanced,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A replayable stream of job requests plus the service seed."""
+
+    jobs: Tuple[JobRequest, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        seen: Dict[str, int] = {}
+        for i, job in enumerate(self.jobs):
+            if job.job_id in seen:
+                raise WorkloadFormatError(
+                    f"jobs[{i}]: duplicate job_id {job.job_id!r} "
+                    f"(first used by jobs[{seen[job.job_id]}])"
+                )
+            seen[job.job_id] = i
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def sorted_jobs(self) -> Tuple[JobRequest, ...]:
+        """Arrival order: by submit time, job id breaking ties."""
+        return tuple(
+            sorted(self.jobs, key=lambda j: (j.submit_s, j.job_id))
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "format_version": WORKLOAD_FORMAT_VERSION,
+            "seed": self.seed,
+            "jobs": [job.to_jsonable() for job in self.jobs],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WorkloadFormatError(f"malformed workload JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WorkloadFormatError("workload JSON must be an object")
+        version = payload.get("format_version", WORKLOAD_FORMAT_VERSION)
+        if version != WORKLOAD_FORMAT_VERSION:
+            raise WorkloadFormatError(
+                f"workload format {version!r} is not supported "
+                f"(expected {WORKLOAD_FORMAT_VERSION})"
+            )
+        raw_jobs = payload.get("jobs", [])
+        if not isinstance(raw_jobs, list):
+            raise WorkloadFormatError("'jobs' must be a list")
+        jobs = []
+        for i, raw in enumerate(raw_jobs):
+            try:
+                jobs.append(JobRequest.from_jsonable(raw))
+            except WorkloadFormatError as exc:
+                raise WorkloadFormatError(f"jobs[{i}]: {exc}") from exc
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise WorkloadFormatError(f"malformed seed: {exc}") from exc
+        return cls(jobs=tuple(jobs), seed=seed)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Workload":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

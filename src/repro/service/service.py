@@ -1,0 +1,684 @@
+"""The deterministic multi-tenant job service.
+
+One simulated cluster, one stream of job requests, one server: jobs are
+admitted (or rejected) the instant they arrive, wait in a priority queue
+while the cluster is busy, and run one at a time through the
+:class:`~repro.engine.resilient.ResilientRuntime`.  Everything happens on
+the *simulated* clock — arrival gaps, queueing delay, priced runtimes,
+retry backoffs and breaker cooldowns all add in the same unit — so a
+workload file plus a seed pins the entire service history byte for byte.
+
+The control policies, in the order a job meets them:
+
+* **Admission / backpressure** — a bounded queue.  A job arriving to a
+  full queue, or whose projected wait exceeds the policy bound, is
+  rejected immediately with a typed reason; an open-loop arrival process
+  cannot wedge the service.
+* **Deadlines** — each job may carry a relative deadline.  If the
+  CCR-priced projection says even the optimistic finish misses it, the
+  job is cancelled before consuming cluster time; if the actual priced
+  run overruns it, the job is cancelled *at* the deadline and charged
+  exactly the simulated time and energy consumed up to it.
+* **Retries** — a run that exhausts the engine's recovery budget
+  (:class:`~repro.errors.RecoveryError`) is retried at service level with
+  exponential backoff and full jitter, under a fresh per-attempt fault
+  draw (seeded, so the retry sequence is still reproducible).
+* **Circuit breakers** — every machine slot carries a breaker fed by the
+  runtime's crash/straggler events.  Broken machines keep only a sliver
+  of the partition weight until a cooled-down probe succeeds
+  (see :mod:`repro.service.breaker`).
+* **Load shedding** — when the backlog crosses the shedding threshold,
+  low-priority jobs run with a reduced iteration budget and their report
+  is flagged ``degraded`` (the graded-brownout alternative to rejecting
+  them outright).
+
+Accounting invariant (checked by the chaos tests): every submitted job
+ends in exactly one typed outcome, and the service totals equal the sums
+over per-job records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.cluster.cluster import Cluster
+from repro.engine.resilient import (
+    ResilientExecutionReport,
+    ResilientRuntime,
+)
+from repro.errors import FaultError, RecoveryError, ServiceError
+from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+from repro.graph.digraph import DiGraph
+from repro.obs import context as obs
+from repro.partition.weights import uniform_weights
+from repro.service.breaker import BreakerBoard, BreakerEvent, BreakerPolicy
+from repro.service.estimate import projected_seconds
+from repro.service.request import (
+    STATUS_COMPLETED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    JobRecord,
+    JobRequest,
+    Workload,
+)
+from repro.utils.rng import make_rng
+
+__all__ = ["ServicePolicy", "ServiceResult", "JobService"]
+
+#: Iteration knob per application, for degraded (shed) runs.  Apps absent
+#: here have no budget to cut, so shedding leaves them whole.
+_ITER_KNOBS: Dict[str, Tuple[str, int]] = {
+    "pagerank": ("max_supersteps", 100),
+    "coloring": ("max_rounds", 500),
+}
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Admission, shedding and retry knobs of one service instance.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Jobs allowed to wait (excluding the one running); an arrival to a
+        full queue is rejected.
+    max_projected_wait_s:
+        Optional bound on the projected queueing delay at admission:
+        remaining time of the running job plus the CCR-projected runtimes
+        of everything queued ahead.  ``None`` disables the check.
+    shed_queue_depth:
+        Backlog (queue length at job start) at which shedding kicks in.
+    shed_priority_max:
+        Jobs with ``priority <= shed_priority_max`` are sheddable.
+    shed_iteration_cap:
+        Iteration budget a shed job runs under (applies to apps with an
+        iteration knob; see ``_ITER_KNOBS``).
+    max_attempts:
+        Service-level run attempts per job (1 = no retry).
+    retry:
+        Backoff shape between service-level attempts.  Defaults to full
+        jitter, which decorrelates retry storms across tenants.
+    """
+
+    max_queue_depth: int = 8
+    max_projected_wait_s: Optional[float] = None
+    shed_queue_depth: int = 6
+    shed_priority_max: int = 0
+    shed_iteration_cap: int = 10
+    max_attempts: int = 2
+    retry: RetryPolicy = RetryPolicy(
+        max_retries=3, backoff_base_s=0.002, backoff_factor=2.0,
+        full_jitter=True,
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if (
+            self.max_projected_wait_s is not None
+            and self.max_projected_wait_s <= 0.0
+        ):
+            raise ServiceError(
+                f"max_projected_wait_s must be > 0, got "
+                f"{self.max_projected_wait_s}"
+            )
+        if self.shed_queue_depth < 1:
+            raise ServiceError(
+                f"shed_queue_depth must be >= 1, got {self.shed_queue_depth}"
+            )
+        if self.shed_iteration_cap < 1:
+            raise ServiceError(
+                f"shed_iteration_cap must be >= 1, got "
+                f"{self.shed_iteration_cap}"
+            )
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Everything one workload replay produced, in deterministic order."""
+
+    records: Tuple[JobRecord, ...]
+    breaker_events: Tuple[BreakerEvent, ...]
+    breaker_states: Tuple[str, ...]
+    breaker_trips: int
+    makespan_s: float
+    max_queue_depth: int
+
+    def by_status(self) -> Dict[str, int]:
+        counts = {
+            STATUS_COMPLETED: 0,
+            STATUS_REJECTED: 0,
+            STATUS_DEADLINE_EXCEEDED: 0,
+            STATUS_FAILED: 0,
+        }
+        for r in self.records:
+            counts[r.status] += 1
+        return counts
+
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic service-level metrics (the ops dashboard view)."""
+        counts = self.by_status()
+        submitted = len(self.records)
+        waits = sorted(
+            r.wait_s for r in self.records if r.wait_s is not None
+        )
+        latencies = sorted(
+            r.latency_s
+            for r in self.records
+            if r.status == STATUS_COMPLETED and r.latency_s is not None
+        )
+        charged_s = sum(r.charged_seconds for r in self.records)
+        charged_j = sum(r.charged_energy_joules for r in self.records)
+        backoff_s = sum(r.retries_backoff_s for r in self.records)
+        hours = self.makespan_s / 3600.0
+        return {
+            "jobs_submitted": submitted,
+            "jobs_completed": counts[STATUS_COMPLETED],
+            "jobs_rejected": counts[STATUS_REJECTED],
+            "jobs_deadline_exceeded": counts[STATUS_DEADLINE_EXCEEDED],
+            "jobs_failed": counts[STATUS_FAILED],
+            "jobs_degraded": sum(1 for r in self.records if r.degraded),
+            "rejection_rate": (
+                counts[STATUS_REJECTED] / submitted if submitted else 0.0
+            ),
+            "max_queue_depth": self.max_queue_depth,
+            "wait_p50_s": _percentile(waits, 50.0),
+            "wait_p99_s": _percentile(waits, 99.0),
+            "latency_p50_s": _percentile(latencies, 50.0),
+            "latency_p99_s": _percentile(latencies, 99.0),
+            "makespan_s": self.makespan_s,
+            "throughput_jobs_per_sim_hour": (
+                counts[STATUS_COMPLETED] / hours if hours > 0.0 else 0.0
+            ),
+            "charged_seconds_total": charged_s,
+            "charged_energy_joules_total": charged_j,
+            "retry_backoff_seconds_total": backoff_s,
+            "breaker_trips": self.breaker_trips,
+            "breaker_states": list(self.breaker_states),
+        }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "records": [r.to_jsonable() for r in self.records],
+            "breaker_events": [e.to_jsonable() for e in self.breaker_events],
+            "summary": self.summary(),
+        }
+
+    def trace_json(self) -> str:
+        """Canonical byte-reproducible trace of the whole replay."""
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    return float(np.percentile(np.asarray(sorted_values, dtype=np.float64), q))
+
+
+class JobService:
+    """Replays a workload against one cluster under the service policies.
+
+    Parameters
+    ----------
+    cluster:
+        The heterogeneous cluster all jobs run on.
+    policy:
+        Admission/shedding/retry knobs (default :class:`ServicePolicy`).
+    breaker_policy:
+        Per-machine breaker knobs (default :class:`BreakerPolicy`).
+    estimator:
+        Optional capability estimator for base partition weights
+        (``None`` = uniform; breakers multiply on top either way).
+    checkpoint, engine_retry:
+        Recovery policies handed to the resilient runtime per attempt.
+    monitor:
+        Optional :class:`~repro.core.online.OnlineCCRMonitor` receiving
+        degradation reports when a run's supervisor fires.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: Optional[ServicePolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        estimator: Optional[Any] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        engine_retry: Optional[RetryPolicy] = None,
+        monitor: Optional[Any] = None,
+    ):
+        self.cluster = cluster
+        self.policy = policy if policy is not None else ServicePolicy()
+        self.board = BreakerBoard(
+            cluster.num_machines,
+            breaker_policy if breaker_policy is not None else BreakerPolicy(),
+        )
+        self.estimator = estimator
+        self.checkpoint = checkpoint
+        self.engine_retry = engine_retry
+        self.monitor = monitor
+        self._graphs: Dict[Tuple[Any, ...], DiGraph] = {}
+        self._projections: Dict[Tuple[Any, ...], float] = {}
+        self._rng = make_rng(0)
+
+    # ------------------------------------------------------------------ #
+    # Shared inputs
+    # ------------------------------------------------------------------ #
+
+    def _graph_for(self, job: JobRequest) -> DiGraph:
+        key = job.graph.key()
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = job.graph.load()
+            self._graphs[key] = graph
+        return graph
+
+    def _projection_for(self, job: JobRequest) -> float:
+        """CCR-projected solo runtime, memoised per (app, graph) pair.
+
+        The service memo makes admission O(1) per queued job even when
+        the process-level kernel caches are gated off (python backend or
+        an installed observer); the value is a deterministic function of
+        the key either way.
+        """
+        key = (job.app, job.graph.key())
+        cached = self._projections.get(key)
+        if cached is not None:
+            return cached
+        seconds = projected_seconds(
+            self.cluster, job.app, self._graph_for(job)
+        )
+        self._projections[key] = seconds
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def _admission_error(
+        self, job: JobRequest, queue: List[JobRequest], free_at: float
+    ) -> str:
+        """Reason to reject ``job`` at its arrival instant, or ``""``."""
+        if job.faults is not None:
+            try:
+                job.faults.validate_for(self.cluster.num_machines)
+            except FaultError as exc:
+                return f"invalid fault schedule: {exc}"
+        if len(queue) >= self.policy.max_queue_depth:
+            return (
+                f"queue full: depth {len(queue)} at limit "
+                f"{self.policy.max_queue_depth}"
+            )
+        bound = self.policy.max_projected_wait_s
+        if bound is not None:
+            wait = max(0.0, free_at - job.submit_s)
+            for queued in queue:
+                wait += self._projection_for(queued)
+            if wait > bound:
+                return (
+                    f"projected wait {wait:.6f}s exceeds bound {bound:.6f}s"
+                )
+        return ""
+
+    # ------------------------------------------------------------------ #
+    # One job
+    # ------------------------------------------------------------------ #
+
+    def _build_app(self, job: JobRequest, shed: bool) -> Tuple[Any, bool]:
+        from repro.apps.registry import make_app
+
+        kwargs = {str(k): v for k, v in sorted(job.app_args.items())}
+        degraded = False
+        if shed and job.app in _ITER_KNOBS:
+            knob, default = _ITER_KNOBS[job.app]
+            current = int(kwargs.get(knob, default))
+            cap = self.policy.shed_iteration_cap
+            if cap < current:
+                kwargs[knob] = cap
+                degraded = True
+        return make_app(job.app, **kwargs), degraded
+
+    def _feed_breakers(
+        self,
+        report: Any,
+        schedule_machines: Tuple[int, ...],
+        failed_run: bool,
+        now_s: float,
+    ) -> Tuple[int, bool]:
+        """Turn one attempt's evidence into breaker transitions.
+
+        Returns ``(crash_event_count, rebalanced)`` for the job record.
+        """
+        crashes = 0
+        rebalanced = False
+        failed: set[int] = set()
+        if isinstance(report, ResilientExecutionReport):
+            for ev in report.events:
+                if ev.kind == "crash":
+                    failed.update(ev.machines)
+                    crashes += len(ev.machines)
+                elif ev.kind in ("rebalance", "run-failed"):
+                    failed.update(ev.machines)
+            rebalanced = report.recovery.rebalanced
+            self.board.record_failures(
+                tuple(sorted(failed)), now_s, "crash/straggler events"
+            )
+        elif failed_run:
+            # The pricing walk aborted without a report; the schedule's
+            # crash targets are the best available evidence.
+            failed.update(schedule_machines)
+            self.board.record_failures(
+                tuple(sorted(failed)), now_s, "run failed"
+            )
+        healthy = tuple(
+            i for i in range(self.cluster.num_machines) if i not in failed
+        )
+        self.board.record_successes(healthy, now_s)
+        return crashes, rebalanced
+
+    def _run_job(
+        self, job: JobRequest, start_s: float, backlog: int
+    ) -> JobRecord:
+        """Execute one admitted job starting at ``start_s``."""
+        deadline = job.absolute_deadline_s
+        graph = self._graph_for(job)
+        projected = self._projection_for(job)
+
+        with obs.span(
+            "service/job", job_id=job.job_id, app=job.app,
+            priority=job.priority,
+        ) as span:
+            # Pre-run deadline check: the projection is an optimistic
+            # lower bound, so a projected miss is a certain miss.
+            if deadline is not None and start_s + projected > deadline:
+                span.set(status=STATUS_DEADLINE_EXCEEDED)
+                if obs.is_enabled():
+                    obs.counter_add("service.deadline_exceeded", 1.0)
+                return JobRecord(
+                    job_id=job.job_id,
+                    app=job.app,
+                    status=STATUS_DEADLINE_EXCEEDED,
+                    priority=job.priority,
+                    submit_s=job.submit_s,
+                    start_s=start_s,
+                    end_s=start_s,
+                    reason=(
+                        f"projected finish {start_s + projected:.6f}s "
+                        f"exceeds deadline {deadline:.6f}s"
+                    ),
+                )
+
+            shed = (
+                backlog >= self.policy.shed_queue_depth
+                and job.priority <= self.policy.shed_priority_max
+            )
+            application, degraded = self._build_app(job, shed)
+            if degraded and obs.is_enabled():
+                obs.counter_add("service.shed", 1.0)
+
+            self.board.refresh(start_s)
+            weights = (
+                np.asarray(
+                    self.estimator.weights(self.cluster, job.app, graph),
+                    dtype=np.float64,
+                )
+                if self.estimator is not None
+                else uniform_weights(self.cluster)
+            )
+            weights = weights * self.board.multipliers()
+
+            record = self._attempt_loop(
+                job, graph, application, weights, start_s, deadline, degraded
+            )
+            span.set(status=record.status, attempts=record.attempts)
+            if obs.is_enabled():
+                obs.counter_add(f"service.{record.status}", 1.0)
+                if record.wait_s is not None:
+                    obs.histogram_record("service.wait_seconds", record.wait_s)
+                if record.latency_s is not None:
+                    obs.histogram_record(
+                        "service.latency_seconds", record.latency_s
+                    )
+            return record
+
+    def _attempt_loop(
+        self,
+        job: JobRequest,
+        graph: DiGraph,
+        application: Any,
+        weights: NDArray[np.float64],
+        start_s: float,
+        deadline: Optional[float],
+        degraded: bool,
+    ) -> JobRecord:
+        policy = self.policy
+        m = self.cluster.num_machines
+        backoff_total = 0.0
+        crashes = 0
+        rebalanced = False
+        last_error = ""
+        for attempt in range(1, policy.max_attempts + 1):
+            schedule = job.schedule_for(m, attempt)
+            schedule_machines: Tuple[int, ...] = ()
+            if schedule is not None:
+                schedule_machines = tuple(
+                    sorted({c.machine for c in schedule.crashes})
+                )
+            runtime = ResilientRuntime(
+                self.cluster,
+                partitioner=job.partitioner,
+                schedule=schedule,
+                checkpoint=self.checkpoint,
+                retry=self.engine_retry,
+                monitor=self.monitor,
+            )
+            attempt_start = start_s + backoff_total
+            try:
+                outcome = runtime.run(application, graph, weights=weights)
+            except RecoveryError as exc:
+                last_error = str(exc)
+                n_crashes, _ = self._feed_breakers(
+                    None, schedule_machines, True, attempt_start
+                )
+                crashes += n_crashes
+                if obs.is_enabled():
+                    obs.counter_add("service.attempt_failures", 1.0)
+                if attempt == policy.max_attempts:
+                    return JobRecord(
+                        job_id=job.job_id,
+                        app=job.app,
+                        status=STATUS_FAILED,
+                        priority=job.priority,
+                        submit_s=job.submit_s,
+                        start_s=start_s,
+                        end_s=attempt_start,
+                        attempts=attempt,
+                        retries_backoff_s=backoff_total,
+                        degraded=degraded,
+                        crashes=crashes,
+                        rebalanced=rebalanced,
+                        reason=(
+                            f"all {policy.max_attempts} attempts failed; "
+                            f"last: {last_error}"
+                        ),
+                    )
+                pause = policy.retry.backoff_seconds(attempt, self._rng)
+                backoff_total += pause
+                if (
+                    deadline is not None
+                    and start_s + backoff_total >= deadline
+                ):
+                    return JobRecord(
+                        job_id=job.job_id,
+                        app=job.app,
+                        status=STATUS_DEADLINE_EXCEEDED,
+                        priority=job.priority,
+                        submit_s=job.submit_s,
+                        start_s=start_s,
+                        end_s=deadline,
+                        attempts=attempt,
+                        retries_backoff_s=max(0.0, deadline - start_s),
+                        degraded=degraded,
+                        crashes=crashes,
+                        rebalanced=rebalanced,
+                        reason="deadline passed during retry backoff",
+                    )
+                continue
+
+            report = outcome.report
+            n_crashes, reb = self._feed_breakers(
+                report, schedule_machines, False,
+                attempt_start + report.runtime_seconds,
+            )
+            crashes += n_crashes
+            rebalanced = rebalanced or reb
+            finish = attempt_start + report.runtime_seconds
+            if deadline is not None and finish > deadline:
+                # Overran mid-run: cancel at the deadline, charge exactly
+                # the simulated share consumed up to it.
+                run_share = max(0.0, deadline - attempt_start)
+                fraction = (
+                    run_share / report.runtime_seconds
+                    if report.runtime_seconds > 0.0
+                    else 0.0
+                )
+                return JobRecord(
+                    job_id=job.job_id,
+                    app=job.app,
+                    status=STATUS_DEADLINE_EXCEEDED,
+                    priority=job.priority,
+                    submit_s=job.submit_s,
+                    start_s=start_s,
+                    end_s=deadline,
+                    charged_seconds=run_share,
+                    charged_energy_joules=report.energy_joules * fraction,
+                    attempts=attempt,
+                    retries_backoff_s=backoff_total,
+                    degraded=degraded,
+                    supersteps=report.num_supersteps,
+                    crashes=crashes,
+                    rebalanced=rebalanced,
+                    reason=(
+                        f"run overran deadline: finish {finish:.6f}s > "
+                        f"deadline {deadline:.6f}s"
+                    ),
+                )
+            return JobRecord(
+                job_id=job.job_id,
+                app=job.app,
+                status=STATUS_COMPLETED,
+                priority=job.priority,
+                submit_s=job.submit_s,
+                start_s=start_s,
+                end_s=finish,
+                charged_seconds=report.runtime_seconds,
+                charged_energy_joules=report.energy_joules,
+                attempts=attempt,
+                retries_backoff_s=backoff_total,
+                degraded=degraded,
+                supersteps=report.num_supersteps,
+                crashes=crashes,
+                rebalanced=rebalanced,
+            )
+        raise AssertionError("unreachable: attempt loop always returns")
+
+    # ------------------------------------------------------------------ #
+    # The replay loop
+    # ------------------------------------------------------------------ #
+
+    def run_workload(self, workload: Workload) -> ServiceResult:
+        """Replay a workload to completion and return the full history.
+
+        The loop is a single-server discrete-event simulation: arrivals
+        are admitted at their submission instants (the queue-depth and
+        projected-wait checks see the queue exactly as it stood then),
+        and whenever the server frees, the highest-priority admitted job
+        starts.  Admissions are batched up to the next start time, which
+        is equivalent to admitting at arrival instants because the queue
+        only changes between starts by those same arrivals.
+        """
+        arrivals = list(workload.sorted_jobs())
+        self._rng = make_rng(workload.seed)
+        queue: List[JobRequest] = []
+        records: List[JobRecord] = []
+        free_at = 0.0
+        ptr = 0
+        max_depth = 0
+        with obs.span("service/run", jobs=len(arrivals)) as span:
+            while ptr < len(arrivals) or queue:
+                horizon = (
+                    free_at
+                    if queue
+                    else max(free_at, arrivals[ptr].submit_s)
+                )
+                while (
+                    ptr < len(arrivals)
+                    and arrivals[ptr].submit_s <= horizon
+                ):
+                    job = arrivals[ptr]
+                    ptr += 1
+                    reason = self._admission_error(job, queue, free_at)
+                    if reason:
+                        records.append(
+                            JobRecord(
+                                job_id=job.job_id,
+                                app=job.app,
+                                status=STATUS_REJECTED,
+                                priority=job.priority,
+                                submit_s=job.submit_s,
+                                reason=reason,
+                            )
+                        )
+                        if obs.is_enabled():
+                            obs.counter_add("service.rejected", 1.0)
+                            obs.event(
+                                "service/reject",
+                                job_id=job.job_id,
+                                reason=reason,
+                            )
+                        continue
+                    queue.append(job)
+                    max_depth = max(max_depth, len(queue))
+                    if obs.is_enabled():
+                        obs.counter_add("service.admitted", 1.0)
+                        obs.gauge_set("service.queue_depth", len(queue))
+                if not queue:
+                    continue
+                job = min(
+                    queue,
+                    key=lambda j: (-j.priority, j.submit_s, j.job_id),
+                )
+                queue.remove(job)
+                if obs.is_enabled():
+                    obs.gauge_set("service.queue_depth", len(queue))
+                start = max(free_at, job.submit_s)
+                trips_before = self.board.total_trips()
+                record = self._run_job(job, start, len(queue))
+                records.append(record)
+                if obs.is_enabled():
+                    trips = self.board.total_trips() - trips_before
+                    if trips:
+                        obs.counter_add("service.breaker_trips", float(trips))
+                free_at = record.end_s if record.end_s is not None else start
+            span.set(jobs_done=len(records), makespan_s=free_at)
+
+        records.sort(key=lambda r: (r.submit_s, r.job_id))
+        return ServiceResult(
+            records=tuple(records),
+            breaker_events=tuple(self.board.events),
+            breaker_states=self.board.states(),
+            breaker_trips=self.board.total_trips(),
+            makespan_s=free_at,
+            max_queue_depth=max_depth,
+        )

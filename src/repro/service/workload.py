@@ -1,0 +1,154 @@
+"""Seeded open-loop workload generation for the job service.
+
+An *open-loop* generator: arrivals are a Poisson process (exponential
+interarrival gaps), independent of how fast the service drains the queue
+— the standard way to expose a queueing system to overload, since a
+closed loop would politely wait and never build backlog.
+
+All draws go through :func:`repro.utils.rng.make_rng` in a fixed
+per-job order (gap, app, graph, priority, deadline, faults), so a seed
+pins the entire workload byte for byte; ``repro workload --seed N`` twice
+writes identical files.
+
+The ``hot_machine`` knob plants explicit repeated :class:`CrashFault`
+events on one machine slot in a fraction of jobs — the deterministic way
+to script a breaker demo: the slot accumulates crash evidence job after
+job until its breaker trips, then recovers once the hot jobs stop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.faults.schedule import CrashFault, FaultSchedule
+from repro.service.request import FaultSpec, GraphSpec, JobRequest, Workload
+from repro.utils.rng import make_rng
+
+__all__ = ["generate_workload"]
+
+#: Default synthetic graph sizes jobs draw from.  A small pool on purpose:
+#: repeats across jobs are what make the content-keyed caches earn their
+#: keep (real tenants resubmit the same inputs).
+_DEFAULT_SIZES: Tuple[int, ...] = (600, 900, 1200)
+
+_DEFAULT_APPS: Tuple[str, ...] = ("pagerank", "connected_components")
+
+
+def generate_workload(
+    num_jobs: int,
+    seed: int = 0,
+    mean_interarrival_s: float = 0.001,
+    apps: Sequence[str] = _DEFAULT_APPS,
+    graph_sizes: Sequence[int] = _DEFAULT_SIZES,
+    alpha: float = 2.1,
+    priorities: int = 3,
+    deadline_fraction: float = 0.0,
+    deadline_min_s: float = 0.005,
+    deadline_max_s: float = 0.05,
+    fault_fraction: float = 0.0,
+    crash_rate: float = 0.01,
+    slowdown_rate: float = 0.0,
+    hot_machine: Optional[int] = None,
+    hot_fraction: float = 0.0,
+    hot_repeats: int = 1,
+) -> Workload:
+    """Sample a replayable Poisson job stream.
+
+    Parameters
+    ----------
+    num_jobs:
+        Stream length.
+    seed:
+        Pins every draw; also becomes the workload's service seed.
+    mean_interarrival_s:
+        Mean of the exponential gaps between submissions (1/λ).
+    apps, graph_sizes, alpha:
+        Job mix: applications and synthetic power-law graph sizes drawn
+        uniformly (graphs reuse a small seed pool so inputs repeat).
+    priorities:
+        Priorities are drawn uniformly from ``0 .. priorities-1``.
+    deadline_fraction:
+        Fraction of jobs given a deadline, drawn uniformly from
+        ``[deadline_min_s, deadline_max_s]`` after submission.
+    fault_fraction, crash_rate, slowdown_rate:
+        Fraction of jobs carrying seeded fault rates, and those rates.
+    hot_machine, hot_fraction, hot_repeats:
+        Fraction of jobs that pin explicit repeated crashes onto one
+        machine slot (the breaker-demo scenario).
+    """
+    if num_jobs < 1:
+        raise ServiceError(f"num_jobs must be >= 1, got {num_jobs}")
+    if mean_interarrival_s <= 0.0:
+        raise ServiceError(
+            f"mean_interarrival_s must be > 0, got {mean_interarrival_s}"
+        )
+    if not apps:
+        raise ServiceError("apps must be non-empty")
+    if not graph_sizes:
+        raise ServiceError("graph_sizes must be non-empty")
+    if priorities < 1:
+        raise ServiceError(f"priorities must be >= 1, got {priorities}")
+    for name, frac in (
+        ("deadline_fraction", deadline_fraction),
+        ("fault_fraction", fault_fraction),
+        ("hot_fraction", hot_fraction),
+    ):
+        if not 0.0 <= frac <= 1.0:
+            raise ServiceError(f"{name} must be in [0, 1], got {frac}")
+    if deadline_max_s < deadline_min_s or deadline_min_s <= 0.0:
+        raise ServiceError(
+            "deadline bounds must satisfy 0 < deadline_min_s <= deadline_max_s"
+        )
+    if hot_fraction > 0.0 and hot_machine is None:
+        raise ServiceError("hot_fraction > 0 requires hot_machine")
+    if hot_repeats < 1:
+        raise ServiceError(f"hot_repeats must be >= 1, got {hot_repeats}")
+
+    rng = make_rng(seed)
+    app_pool = tuple(apps)
+    size_pool = tuple(int(s) for s in graph_sizes)
+    width = max(4, len(str(num_jobs)))
+
+    jobs = []
+    clock = 0.0
+    for i in range(num_jobs):
+        clock += float(rng.exponential(mean_interarrival_s))
+        app = app_pool[int(rng.integers(0, len(app_pool)))]
+        size = size_pool[int(rng.integers(0, len(size_pool)))]
+        graph_seed = int(rng.integers(0, 4))
+        priority = int(rng.integers(0, priorities))
+        deadline_s: Optional[float] = None
+        if deadline_fraction and float(rng.random()) < deadline_fraction:
+            deadline_s = float(rng.uniform(deadline_min_s, deadline_max_s))
+        faults: Optional[FaultSchedule] = None
+        fault_rates: Optional[FaultSpec] = None
+        if hot_fraction and float(rng.random()) < hot_fraction:
+            assert hot_machine is not None
+            faults = FaultSchedule(
+                crashes=(
+                    CrashFault(
+                        superstep=1, machine=hot_machine, repeats=hot_repeats
+                    ),
+                ),
+                seed=seed,
+            )
+        elif fault_fraction and float(rng.random()) < fault_fraction:
+            fault_rates = FaultSpec(
+                crash_rate=crash_rate,
+                slowdown_rate=slowdown_rate,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        jobs.append(
+            JobRequest(
+                job_id=f"job-{i:0{width}d}",
+                app=app,
+                graph=GraphSpec(vertices=size, alpha=alpha, seed=graph_seed),
+                submit_s=clock,
+                priority=priority,
+                deadline_s=deadline_s,
+                faults=faults,
+                fault_rates=fault_rates,
+            )
+        )
+    return Workload(jobs=tuple(jobs), seed=seed)

@@ -176,3 +176,51 @@ class TestDescribe:
         rows = sched.describe()
         assert [r[1] for r in rows] == [1, 3, 5]
         assert [r[0] for r in rows] == ["slowdown", "network", "crash"]
+
+
+# ---------------------------------------------------------------------- #
+# Property-based tests (hypothesis)
+# ---------------------------------------------------------------------- #
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def generated_schedules(draw):
+    """A sampled scenario plus the machine count it was drawn for."""
+    num_machines = draw(st.integers(min_value=1, max_value=6))
+    sched = FaultSchedule.generate(
+        num_machines=num_machines,
+        num_supersteps=draw(st.integers(min_value=0, max_value=40)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        crash_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        slowdown_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        slowdown_factor=draw(st.floats(min_value=1.5, max_value=8.0)),
+        slowdown_duration=draw(st.integers(min_value=1, max_value=8)),
+        network_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        network_duration=draw(st.integers(min_value=1, max_value=6)),
+    )
+    return num_machines, sched
+
+
+class TestGeneratedScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(generated_schedules())
+    def test_json_round_trip_is_identity(self, case):
+        _, sched = case
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+
+    @settings(max_examples=60, deadline=None)
+    @given(generated_schedules())
+    def test_generated_schedule_is_valid_for_its_cluster(self, case):
+        num_machines, sched = case
+        sched.validate_for(num_machines)  # must not raise
+        for event in (*sched.crashes, *sched.slowdowns):
+            assert 0 <= event.machine < num_machines
+
+    @settings(max_examples=30, deadline=None)
+    @given(generated_schedules())
+    def test_round_trip_preserves_json_text(self, case):
+        _, sched = case
+        text = sched.to_json()
+        assert FaultSchedule.from_json(text).to_json() == text

@@ -1,0 +1,131 @@
+"""Regressions at the cache/observer boundary used by the job service.
+
+Two contracts the service leans on:
+
+* installing an observer gates the kernel caches off (so observed runs
+  profile for real), but hits must *resume* once the observer is
+  uninstalled mid-process — the gate is per-call, not a one-way switch;
+* the estimate cache key embeds the full cluster identity, so services
+  fronting different clusters in one process can never trade
+  projections.
+"""
+
+from repro import obs
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.graph.digraph import DiGraph
+from repro.kernels.cache import estimate_cache, profile_trace_cache
+from repro.powerlaw.generator import generate_power_law_graph
+from repro.service import GraphSpec, JobRequest, JobService, Workload
+from repro.service.estimate import projected_seconds
+
+
+def make_cluster(scale: float = 0.01, small: bool = False) -> Cluster:
+    machines = (
+        [get_machine("c4.xlarge"), get_machine("c4.2xlarge")]
+        if small
+        else [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")]
+    )
+    return Cluster(machines, perf=PerformanceModel(model_scale=scale))
+
+
+def make_graph(seed: int = 0) -> DiGraph:
+    return generate_power_law_graph(num_vertices=300, alpha=2.1, seed=seed)
+
+
+class TestObserverGate:
+    def test_hits_resume_after_observer_uninstalled(self):
+        cluster = make_cluster(0.01)
+        graph = make_graph()
+
+        cold = projected_seconds(cluster, "pagerank", graph)
+        warm = projected_seconds(cluster, "pagerank", graph)
+        assert warm == cold
+        stats = estimate_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+        # Observed call: the gate bypasses the cache entirely (no new
+        # hits or misses) but still computes the same number.
+        with obs.enabled(obs.Observer()):
+            observed = projected_seconds(cluster, "pagerank", graph)
+        assert observed == cold
+        assert estimate_cache.stats() == stats
+
+        # Uninstalled again: the warm entry is still there and serves.
+        after = projected_seconds(cluster, "pagerank", graph)
+        assert after == cold
+        assert estimate_cache.stats()["hits"] == stats["hits"] + 1
+        assert estimate_cache.stats()["misses"] == stats["misses"]
+
+    def test_observed_run_records_profile_spans(self):
+        cluster = make_cluster(0.01)
+        graph = make_graph()
+        projected_seconds(cluster, "pagerank", graph)  # warm the caches
+        observer = obs.Observer()
+        with obs.enabled(observer):
+            projected_seconds(cluster, "pagerank", graph)
+        # The observed call profiled for real instead of reading the
+        # cached trace, so its span stream is complete.
+        assert observer.spans
+
+    def test_profile_trace_cache_shared_across_clusters(self):
+        # The single-machine profile trace depends only on (app, graph),
+        # so two clusters may share it; only the estimate is per-cluster.
+        graph = make_graph()
+        projected_seconds(make_cluster(), "pagerank", graph)
+        trace_misses = profile_trace_cache.stats()["misses"]
+        projected_seconds(make_cluster(small=True), "pagerank", graph)
+        assert profile_trace_cache.stats()["misses"] == trace_misses
+        assert profile_trace_cache.stats()["hits"] >= 1
+
+
+class TestCrossClusterIsolation:
+    def test_estimates_never_leak_between_clusters(self):
+        graph = make_graph()
+        fast = projected_seconds(make_cluster(), "pagerank", graph)
+        slow = projected_seconds(make_cluster(small=True), "pagerank", graph)
+        assert fast != slow
+        assert estimate_cache.stats()["size"] == 2
+        # Re-asking either cluster returns its own number, not the
+        # most recently cached one.
+        assert projected_seconds(make_cluster(), "pagerank", graph) == fast
+        assert (
+            projected_seconds(make_cluster(small=True), "pagerank", graph)
+            == slow
+        )
+
+    def test_two_services_on_different_clusters_disagree(self):
+        workload = Workload(
+            jobs=(
+                JobRequest(
+                    job_id="j",
+                    app="pagerank",
+                    graph=GraphSpec(vertices=300, alpha=2.1, seed=0),
+                ),
+            ),
+            seed=0,
+        )
+        fast = JobService(make_cluster()).run_workload(workload)
+        slow = JobService(make_cluster(small=True)).run_workload(workload)
+        a, b = fast.records[0], slow.records[0]
+        assert a.status == b.status == "completed"
+        # A leaked estimate or priced run would make these equal.
+        assert a.charged_seconds != b.charged_seconds
+        assert a.end_s != b.end_s
+
+    def test_warm_cache_does_not_change_service_trace(self):
+        workload = Workload(
+            jobs=(
+                JobRequest(
+                    job_id="j",
+                    app="pagerank",
+                    graph=GraphSpec(vertices=300, alpha=2.1, seed=0),
+                ),
+            ),
+            seed=0,
+        )
+        cluster = make_cluster(0.01)
+        cold = JobService(cluster).run_workload(workload).trace_json()
+        warm = JobService(cluster).run_workload(workload).trace_json()
+        assert cold == warm

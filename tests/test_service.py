@@ -1,0 +1,266 @@
+"""Unit tests for repro.service.service (admission, deadlines, shedding).
+
+Each test replays a small hand-built workload on the m4/c4 pair at a
+tiny performance scale, so runs execute the real engine but finish in
+milliseconds of wall time.
+"""
+
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.errors import ServiceError
+from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+from repro.faults.schedule import CrashFault, FaultSchedule
+from repro.service import (
+    STATUS_COMPLETED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    GraphSpec,
+    JobRequest,
+    JobService,
+    ServicePolicy,
+    Workload,
+)
+
+GRAPH = GraphSpec(vertices=300, alpha=2.1, seed=0)
+
+
+@pytest.fixture
+def pair() -> Cluster:
+    return Cluster(
+        [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+        perf=PerformanceModel(model_scale=0.01),
+    )
+
+
+def job(job_id, submit_s=0.0, priority=0, **kwargs):
+    return JobRequest(job_id=job_id, app="pagerank", graph=GRAPH,
+                      submit_s=submit_s, priority=priority, **kwargs)
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_queue_depth(self):
+        with pytest.raises(ServiceError, match="max_queue_depth"):
+            ServicePolicy(max_queue_depth=0)
+
+    def test_rejects_non_positive_projected_wait(self):
+        with pytest.raises(ServiceError, match="max_projected_wait_s"):
+            ServicePolicy(max_projected_wait_s=0.0)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            ServicePolicy(max_attempts=0)
+
+
+class TestAdmission:
+    def test_burst_overflowing_queue_is_rejected(self, pair):
+        service = JobService(pair, policy=ServicePolicy(max_queue_depth=2))
+        workload = Workload(
+            jobs=tuple(job(f"j{i}") for i in range(6)), seed=0
+        )
+        result = service.run_workload(workload)
+        counts = result.by_status()
+        # The whole t=0 batch contends for the two queue slots before the
+        # server picks up any work: two admitted, four rejected.
+        assert counts[STATUS_REJECTED] == 4
+        assert counts[STATUS_COMPLETED] == 2
+        rejected = [r for r in result.records if r.status == STATUS_REJECTED]
+        for r in rejected:
+            assert r.start_s is None and r.end_s is None
+            assert r.charged_seconds == 0.0
+            assert r.charged_energy_joules == 0.0
+            assert "queue full" in r.reason
+
+    def test_projected_wait_bound_rejects(self, pair):
+        service = JobService(
+            pair,
+            policy=ServicePolicy(max_queue_depth=50,
+                                 max_projected_wait_s=1e-9),
+        )
+        workload = Workload(jobs=(job("a"), job("b"), job("c")), seed=0)
+        result = service.run_workload(workload)
+        # "a" goes straight to the idle server; the rest would wait.
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["a"].status == STATUS_COMPLETED
+        assert by_id["b"].status == STATUS_REJECTED
+        assert "projected wait" in by_id["b"].reason
+
+    def test_invalid_fault_schedule_rejected_at_admission(self, pair):
+        bad = FaultSchedule(crashes=(CrashFault(1, machine=9),), seed=0)
+        workload = Workload(jobs=(job("a", faults=bad),), seed=0)
+        result = JobService(pair).run_workload(workload)
+        assert result.records[0].status == STATUS_REJECTED
+        assert "invalid fault schedule" in result.records[0].reason
+
+    def test_jobs_arriving_after_server_frees_are_admitted(self, pair):
+        service = JobService(pair, policy=ServicePolicy(max_queue_depth=1))
+        workload = Workload(
+            jobs=(job("a"), job("b", submit_s=30.0)), seed=0
+        )
+        result = service.run_workload(workload)
+        assert result.by_status()[STATUS_REJECTED] == 0
+
+
+class TestDeadlines:
+    def test_unmeetable_deadline_cancelled_before_running(self, pair):
+        workload = Workload(jobs=(job("a", deadline_s=1e-9),), seed=0)
+        record = JobService(pair).run_workload(workload).records[0]
+        assert record.status == STATUS_DEADLINE_EXCEEDED
+        assert record.attempts == 0
+        assert record.charged_seconds == 0.0
+        assert record.charged_energy_joules == 0.0
+        assert record.end_s == record.start_s
+        assert "projected finish" in record.reason
+
+    def test_overrun_cancelled_at_deadline_and_prorated(self, pair):
+        # The fault-free projection fits inside the deadline, but the
+        # crash's recovery pause pushes the real finish far past it.
+        crashing = FaultSchedule(crashes=(CrashFault(1, machine=0),), seed=0)
+        workload = Workload(
+            jobs=(job("a", deadline_s=0.5, faults=crashing),), seed=0
+        )
+        service = JobService(
+            pair,
+            checkpoint=CheckpointPolicy(interval=5, restart_seconds=2.0),
+        )
+        record = service.run_workload(workload).records[0]
+        assert record.status == STATUS_DEADLINE_EXCEEDED
+        assert record.attempts == 1
+        assert record.end_s == pytest.approx(0.5)
+        # Charged for the share actually consumed, not the full run.
+        assert 0.0 < record.charged_seconds <= 0.5
+        assert record.charged_energy_joules > 0.0
+
+    def test_generous_deadline_completes(self, pair):
+        workload = Workload(jobs=(job("a", deadline_s=1000.0),), seed=0)
+        record = JobService(pair).run_workload(workload).records[0]
+        assert record.status == STATUS_COMPLETED
+        assert record.end_s < 1000.0
+
+
+class TestRetriesAndFailure:
+    def make_service(self, pair, max_attempts=2):
+        return JobService(
+            pair,
+            policy=ServicePolicy(max_attempts=max_attempts),
+            checkpoint=CheckpointPolicy(interval=5, restart_seconds=0.01),
+            engine_retry=RetryPolicy(max_retries=1, backoff_base_s=0.001),
+        )
+
+    def test_unrecoverable_job_fails_after_all_attempts(self, pair):
+        hopeless = FaultSchedule(
+            crashes=(CrashFault(1, machine=0, repeats=10),), seed=0
+        )
+        workload = Workload(jobs=(job("a", faults=hopeless),), seed=0)
+        record = self.make_service(pair).run_workload(workload).records[0]
+        assert record.status == STATUS_FAILED
+        assert record.attempts == 2
+        assert record.charged_seconds == 0.0
+        assert record.retries_backoff_s > 0.0
+
+    def test_backoff_is_seeded_and_reproducible(self, pair):
+        hopeless = FaultSchedule(
+            crashes=(CrashFault(1, machine=0, repeats=10),), seed=0
+        )
+        workload = Workload(jobs=(job("a", faults=hopeless),), seed=0)
+        first = self.make_service(pair).run_workload(workload).records[0]
+        second = self.make_service(pair).run_workload(workload).records[0]
+        assert first.retries_backoff_s == second.retries_backoff_s
+
+    def test_recoverable_crash_completes_with_crash_count(self, pair):
+        crashing = FaultSchedule(crashes=(CrashFault(1, machine=0),), seed=0)
+        workload = Workload(jobs=(job("a", faults=crashing),), seed=0)
+        record = self.make_service(pair).run_workload(workload).records[0]
+        assert record.status == STATUS_COMPLETED
+        assert record.crashes >= 1
+        assert record.charged_seconds > 0.0
+
+
+class TestShedding:
+    def shed_service(self, pair):
+        return JobService(
+            pair,
+            policy=ServicePolicy(
+                max_queue_depth=8, shed_queue_depth=2,
+                shed_priority_max=0, shed_iteration_cap=3,
+            ),
+        )
+
+    def test_low_priority_jobs_run_degraded_under_backlog(self, pair):
+        workload = Workload(
+            jobs=tuple(job(f"j{i}") for i in range(4)), seed=0
+        )
+        result = self.shed_service(pair).run_workload(workload)
+        by_id = {r.job_id: r for r in result.records}
+        # j0 starts with 3 jobs queued behind it: shed.  The last job
+        # starts with an empty backlog: full fidelity.
+        assert by_id["j0"].degraded
+        assert not by_id["j3"].degraded
+        assert by_id["j0"].status == STATUS_COMPLETED
+        assert 0 < by_id["j0"].supersteps < by_id["j3"].supersteps
+
+    def test_high_priority_jobs_never_shed(self, pair):
+        workload = Workload(
+            jobs=tuple(job(f"j{i}", priority=3) for i in range(4)), seed=0
+        )
+        result = self.shed_service(pair).run_workload(workload)
+        assert all(not r.degraded for r in result.records)
+
+    def test_priority_orders_the_queue(self, pair):
+        workload = Workload(
+            jobs=(job("low-a"), job("hi", priority=9), job("low-b")),
+            seed=0,
+        )
+        result = JobService(pair).run_workload(workload)
+        by_id = {r.job_id: r for r in result.records}
+        # All three arrive together, so the highest priority runs first.
+        started = sorted(
+            (r.start_s, r.job_id) for r in result.records
+        )
+        assert started[0][1] == "hi"
+        assert by_id["hi"].status == STATUS_COMPLETED
+
+
+class TestAccountingAndDeterminism:
+    def test_summary_totals_match_records(self, pair):
+        workload = Workload(
+            jobs=tuple(job(f"j{i}") for i in range(5)), seed=0
+        )
+        result = JobService(
+            pair, policy=ServicePolicy(max_queue_depth=2)
+        ).run_workload(workload)
+        summary = result.summary()
+        assert summary["charged_seconds_total"] == sum(
+            r.charged_seconds for r in result.records
+        )
+        assert summary["charged_energy_joules_total"] == sum(
+            r.charged_energy_joules for r in result.records
+        )
+        assert summary["jobs_submitted"] == 5
+        assert (
+            summary["jobs_completed"] + summary["jobs_rejected"]
+            + summary["jobs_deadline_exceeded"] + summary["jobs_failed"]
+        ) == 5
+
+    def test_records_sorted_by_submit_then_id(self, pair):
+        workload = Workload(
+            jobs=(job("z"), job("a", submit_s=0.0), job("m", submit_s=5.0)),
+            seed=0,
+        )
+        result = JobService(pair).run_workload(workload)
+        assert [r.job_id for r in result.records] == ["a", "z", "m"]
+
+    def test_same_workload_same_trace(self, pair):
+        workload = Workload(
+            jobs=tuple(
+                job(f"j{i}", submit_s=0.001 * i, priority=i % 2)
+                for i in range(6)
+            ),
+            seed=3,
+        )
+        first = JobService(pair).run_workload(workload).trace_json()
+        second = JobService(pair).run_workload(workload).trace_json()
+        assert first == second

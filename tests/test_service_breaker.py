@@ -1,0 +1,201 @@
+"""Unit tests for repro.service.breaker (per-machine circuit breakers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+def make_breaker(**policy_kwargs):
+    defaults = dict(failure_threshold=3, cooldown_s=10.0)
+    defaults.update(policy_kwargs)
+    return CircuitBreaker(machine=0, policy=BreakerPolicy(**defaults))
+
+
+class TestPolicyValidation:
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ServiceError, match="failure_threshold"):
+            BreakerPolicy(failure_threshold=0)
+
+    def test_zero_cooldown_rejected(self):
+        with pytest.raises(ServiceError, match="cooldown_s"):
+            BreakerPolicy(cooldown_s=0.0)
+
+    def test_cooldown_factor_below_one_rejected(self):
+        with pytest.raises(ServiceError, match="cooldown_factor"):
+            BreakerPolicy(cooldown_factor=0.5)
+
+    def test_max_cooldown_below_cooldown_rejected(self):
+        with pytest.raises(ServiceError, match="max_cooldown_s"):
+            BreakerPolicy(cooldown_s=30.0, max_cooldown_s=10.0)
+
+    def test_zero_open_weight_rejected(self):
+        # A zero weight would be rejected by normalize_weights downstream.
+        with pytest.raises(ServiceError, match="open_weight"):
+            BreakerPolicy(open_weight=0.0)
+
+    def test_half_open_weight_above_one_rejected(self):
+        with pytest.raises(ServiceError, match="half_open_weight"):
+            BreakerPolicy(half_open_weight=1.5)
+
+
+class TestStateMachine:
+    def test_starts_closed_with_unit_weight(self):
+        breaker = make_breaker()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.weight_multiplier() == 1.0
+
+    def test_trips_open_at_threshold(self):
+        breaker = make_breaker(failure_threshold=3)
+        events = []
+        breaker.record_failure(1.0, "crash", events)
+        breaker.record_failure(2.0, "crash", events)
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure(3.0, "crash", events)
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 1
+        assert len(events) == 1
+        assert events[0].from_state == STATE_CLOSED
+        assert events[0].to_state == STATE_OPEN
+        assert events[0].time_s == 3.0
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = make_breaker(failure_threshold=3)
+        events = []
+        breaker.record_failure(1.0, "crash", events)
+        breaker.record_failure(2.0, "crash", events)
+        breaker.record_success(2.5, events)
+        breaker.record_failure(3.0, "crash", events)
+        breaker.record_failure(4.0, "crash", events)
+        assert breaker.state == STATE_CLOSED
+
+    def test_half_open_after_cooldown(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0)
+        events = []
+        breaker.record_failure(0.0, "crash", events)
+        breaker.refresh(5.0, events)
+        assert breaker.state == STATE_OPEN
+        breaker.refresh(10.0, events)
+        assert breaker.state == STATE_HALF_OPEN
+        assert events[-1].reason == "cooldown elapsed"
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0,
+                               cooldown_factor=2.0)
+        events = []
+        breaker.record_failure(0.0, "crash", events)
+        breaker.refresh(10.0, events)
+        breaker.record_success(11.0, events)
+        assert breaker.state == STATE_CLOSED
+        assert breaker.current_cooldown_s == 10.0
+        assert events[-1].to_state == STATE_CLOSED
+
+    def test_probe_failure_reopens_with_longer_cooldown(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0,
+                               cooldown_factor=2.0, max_cooldown_s=600.0)
+        events = []
+        breaker.record_failure(0.0, "crash", events)
+        breaker.refresh(10.0, events)
+        breaker.record_failure(11.0, "crash again", events)
+        assert breaker.state == STATE_OPEN
+        assert breaker.current_cooldown_s == 20.0
+        assert breaker.open_until_s == 31.0
+        assert breaker.trips == 2
+        assert "probe failed" in events[-1].reason
+
+    def test_cooldown_escalation_capped(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0,
+                               cooldown_factor=10.0, max_cooldown_s=50.0)
+        events = []
+        now = 0.0
+        breaker.record_failure(now, "crash", events)
+        for _ in range(4):
+            now = breaker.open_until_s
+            breaker.refresh(now, events)
+            breaker.record_failure(now, "crash", events)
+        assert breaker.current_cooldown_s == 50.0
+
+    def test_failure_while_open_does_not_emit_event(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=100.0)
+        events = []
+        breaker.record_failure(0.0, "crash", events)
+        n = len(events)
+        breaker.record_failure(1.0, "crash", events)
+        assert len(events) == n
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 1
+
+    def test_weight_multiplier_per_state(self):
+        policy = BreakerPolicy(failure_threshold=1, cooldown_s=10.0,
+                               open_weight=1e-3, half_open_weight=0.25)
+        breaker = CircuitBreaker(machine=0, policy=policy)
+        events = []
+        breaker.record_failure(0.0, "crash", events)
+        assert breaker.weight_multiplier() == 1e-3
+        breaker.refresh(10.0, events)
+        assert breaker.weight_multiplier() == 0.25
+        breaker.record_success(11.0, events)
+        assert breaker.weight_multiplier() == 1.0
+
+
+class TestBoard:
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ServiceError, match="num_machines"):
+            BreakerBoard(0, BreakerPolicy())
+
+    def test_multipliers_vector_tracks_states(self):
+        board = BreakerBoard(3, BreakerPolicy(failure_threshold=1,
+                                              cooldown_s=10.0))
+        board.record_failures((1,), 0.0, "crash")
+        np.testing.assert_allclose(board.multipliers(), [1.0, 1e-3, 1.0])
+        assert board.states() == (STATE_CLOSED, STATE_OPEN, STATE_CLOSED)
+        assert board.any_discounted()
+
+    def test_multipliers_always_positive(self):
+        board = BreakerBoard(2, BreakerPolicy(failure_threshold=1))
+        board.record_failures((0, 1), 0.0, "crash")
+        assert (board.multipliers() > 0.0).all()
+
+    def test_out_of_range_slots_ignored(self):
+        board = BreakerBoard(2, BreakerPolicy(failure_threshold=1))
+        board.record_failures((-1, 5), 0.0, "crash")
+        assert board.states() == (STATE_CLOSED, STATE_CLOSED)
+        assert board.events == []
+
+    def test_duplicate_slots_counted_once(self):
+        board = BreakerBoard(1, BreakerPolicy(failure_threshold=2))
+        board.record_failures((0, 0, 0), 0.0, "crash")
+        assert board.breakers[0].consecutive_failures == 1
+
+    def test_full_cycle_event_log(self):
+        board = BreakerBoard(2, BreakerPolicy(failure_threshold=2,
+                                              cooldown_s=5.0))
+        board.record_failures((1,), 0.0, "crash")
+        board.record_failures((1,), 1.0, "crash")
+        board.refresh(6.0)
+        board.record_successes((0, 1), 7.0)
+        transitions = [(e.from_state, e.to_state) for e in board.events]
+        assert transitions == [
+            (STATE_CLOSED, STATE_OPEN),
+            (STATE_OPEN, STATE_HALF_OPEN),
+            (STATE_HALF_OPEN, STATE_CLOSED),
+        ]
+        assert board.total_trips() == 1
+        assert not board.any_discounted()
+
+    def test_to_jsonable_shape(self):
+        board = BreakerBoard(2, BreakerPolicy(failure_threshold=1))
+        board.record_failures((0,), 3.0, "crash")
+        payload = board.to_jsonable()
+        assert payload["states"] == [STATE_OPEN, STATE_CLOSED]
+        assert payload["trips"] == 1
+        assert payload["events"][0]["machine"] == 0
+        assert payload["events"][0]["time_s"] == 3.0
