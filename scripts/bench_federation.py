@@ -1,0 +1,198 @@
+"""Benchmark the federated scheduler at 1/4/8 shards (BENCH_PR6.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_federation.py --scale 0.01
+
+Replays a seeded 600-job Poisson workload (10x the PR 5 service soak)
+through the federation at three shard counts on identical two-machine
+EC2 pairs and records throughput (completed jobs per simulated hour),
+p99 latency and the rejection rate, plus the federation's own health
+counters (steals, failovers) and informational wall-clock seconds.  A
+seeded shard fault schedule (one mid-stream crash per run) keeps the
+failover path on the measured surface.
+
+The federation metrics are *simulated* quantities — deterministic
+functions of (workload seed, clusters, policies, fault schedule) — so
+``--check`` holds them to the checked-in baseline within a tiny float
+tolerance: any drift means routing, stealing or recovery behaviour
+changed, which is exactly what the gate is for.  Wall-clock time is
+recorded but never gated.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
+
+#: Relative tolerance for the determinism gate on simulated metrics.
+REL_TOL = 1e-6
+
+SHARD_COUNTS = (1, 4, 8)
+
+NUM_JOBS = 600
+SEED = 17
+MEAN_INTERARRIVAL_S = 0.02
+
+
+def _cluster(scale):
+    from repro.cluster.catalog import get_machine
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.perfmodel import PerformanceModel
+
+    return Cluster(
+        [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+        perf=PerformanceModel(model_scale=scale),
+    )
+
+
+def _shard_faults(num_shards, horizon_s):
+    """One seeded crash somewhere mid-stream (none at width 1, which is
+    the PR 5-compatible reference point)."""
+    from repro.faults.shards import ShardCrash, ShardFaultSchedule
+
+    if num_shards == 1:
+        return ShardFaultSchedule()
+    return ShardFaultSchedule(
+        crashes=(
+            ShardCrash(
+                time_s=round(horizon_s / 3.0, 6),
+                shard=num_shards - 1,
+                downtime_s=round(horizon_s / 10.0, 6),
+            ),
+        )
+    )
+
+
+def run_bench(scale):
+    from repro.federation import FederationPolicy, FederationService
+    from repro.kernels.cache import clear_all_caches
+    from repro.service import ServicePolicy, generate_workload
+
+    workload = generate_workload(
+        NUM_JOBS,
+        seed=SEED,
+        mean_interarrival_s=MEAN_INTERARRIVAL_S,
+        deadline_fraction=0.2,
+        fault_fraction=0.1,
+        crash_rate=0.01,
+    )
+    horizon_s = max(j.submit_s for j in workload.jobs)
+    entry = {
+        "jobs": NUM_JOBS,
+        "seed": SEED,
+        "mean_interarrival_s": MEAN_INTERARRIVAL_S,
+        "shards": {},
+    }
+    for num_shards in SHARD_COUNTS:
+        clear_all_caches()
+        service = FederationService(
+            [_cluster(scale) for _ in range(num_shards)],
+            policy=ServicePolicy(max_queue_depth=8),
+            federation=FederationPolicy(steal_backlog=2),
+        )
+        faults = _shard_faults(num_shards, horizon_s)
+        started = time.perf_counter()  # repro: allow[DET001]
+        result = service.run_workload(workload, shard_faults=faults)
+        elapsed = time.perf_counter() - started  # repro: allow[DET001]
+        summary = result.summary()
+        entry["shards"][str(num_shards)] = {
+            "throughput_jobs_per_sim_hour": round(
+                summary["throughput_jobs_per_sim_hour"], 3
+            ),
+            "latency_p99_s": round(summary["latency_p99_s"], 9),
+            "rejection_rate": round(summary["rejection_rate"], 6),
+            "steals": summary["steals"],
+            "failovers": summary["failovers"],
+            "shard_crashes": summary["shard_crashes"],
+            "wall_seconds": round(elapsed, 3),
+        }
+        print(
+            f"{num_shards} shard(s): "
+            f"{entry['shards'][str(num_shards)]['throughput_jobs_per_sim_hour']:.0f} "
+            f"jobs/sim-hour, p99 {summary['latency_p99_s'] * 1e3:.3f} ms, "
+            f"rejection {summary['rejection_rate'] * 100:.1f}%, "
+            f"steals {summary['steals']}, failovers {summary['failovers']}, "
+            f"wall {elapsed:.2f}s"
+        )
+    return entry
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {
+        "bench": "federated scheduler scale-out (repro serve --shards)",
+        "runs": {},
+    }
+
+
+GATED_METRICS = (
+    "throughput_jobs_per_sim_hour",
+    "latency_p99_s",
+    "rejection_rate",
+    "steals",
+    "failovers",
+    "shard_crashes",
+)
+
+
+def check(scale):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale)
+    failures = []
+    for name, measured in sorted(entry["shards"].items()):
+        recorded = baseline["shards"].get(name)
+        if recorded is None:
+            failures.append(f"{name} shard(s): no baseline entry")
+            continue
+        for metric in GATED_METRICS:
+            want, got = recorded[metric], measured[metric]
+            tol = REL_TOL * max(1.0, abs(want))
+            if abs(got - want) > tol:
+                failures.append(
+                    f"{name} shard(s).{metric}: {got!r} != baseline "
+                    f"{want!r} (simulated metrics are deterministic; a "
+                    "drift means routing/stealing/recovery behaviour "
+                    "changed)"
+                )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(f"check passed at scale {scale}: federation behaviour unchanged")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="performance-model scale for the clusters")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale))
+
+    doc = load_doc()
+    doc.setdefault("runs", {})[str(args.scale)] = run_bench(args.scale)
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

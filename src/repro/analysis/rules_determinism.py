@@ -260,6 +260,7 @@ class UnorderedIterationRule:
         "repro.obs",
         "repro.kernels",
         "repro.service",
+        "repro.federation",
     )
 
     _VIEWS = frozenset({"items", "keys", "values"})

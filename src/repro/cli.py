@@ -13,14 +13,19 @@ Nine commands cover the library's main entry points without writing code:
   mid-run re-balance.  With ``--obs-dir`` the run records spans, metrics,
   the execution trace and the invocation config into a run directory.
 * ``faults``    — sample a deterministic fault scenario from seeded rates
-  and save/inspect it for replay with ``process --fault-schedule``.
+  and save/inspect it for replay with ``process --fault-schedule``; with
+  ``--shards`` it samples a federation *shard-outage* schedule instead
+  (crashes, partitions, scheduler slowdowns) for ``serve --shards``.
 * ``experiment``— regenerate one of the paper's tables/figures
   (``--obs-dir`` records spans/metrics/provenance alongside).
 * ``workload``  — sample a seeded open-loop (Poisson) job stream and
   write it as a replayable workload JSON file.
 * ``serve``     — replay a workload file through the multi-tenant job
   service: admission control, deadlines, retries, circuit breakers and
-  load shedding over the resilient runtime (DESIGN.md §12).  Malformed
+  load shedding over the resilient runtime (DESIGN.md §12).  With
+  ``--shards N`` the replay runs across N scheduler shards behind a
+  consistent-hash ring with failover, work stealing, journaled crash
+  recovery and shard-fault injection (DESIGN.md §13).  Malformed
   workload files exit 2 with the offending ``jobs[i]`` record named.
 * ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
 * ``lint``      — run the AST-based determinism & contract linter over
@@ -331,10 +336,58 @@ def cmd_process(args) -> int:
     return 0
 
 
+def _cmd_shard_faults(args) -> int:
+    """``faults --shards``: sample a shard-level outage scenario."""
+    from repro.errors import FaultError
+    from repro.faults.shards import ShardFaultSchedule
+    from repro.utils.tables import format_table
+
+    try:
+        schedule = ShardFaultSchedule.generate(
+            num_shards=args.shards,
+            horizon_s=args.horizon_s,
+            seed=args.seed,
+            crash_rate=args.crash_rate,
+            downtime_s=args.downtime,
+            partition_rate=args.partition_rate,
+            partition_duration_s=args.partition_duration,
+            slowdown_rate=args.slowdown_rate,
+            slowdown_factor=args.slowdown_factor,
+            slowdown_duration_s=args.slowdown_duration_s,
+        )
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            headers=("kind", "t (s)", "detail"),
+            rows=[(k, f"{t:.4f}", d) for k, t, d in schedule.describe()],
+            title=(
+                f"shard fault schedule: {schedule.num_events} event(s) "
+                f"over {args.horizon_s}s on {args.shards} shards "
+                f"(seed {args.seed})"
+            ),
+        )
+    )
+    if args.output:
+        schedule.save(args.output)
+        print(f"schedule saved to {args.output}")
+    return 0
+
+
 def cmd_faults(args) -> int:
     from repro.faults.schedule import FaultSchedule
     from repro.utils.tables import format_table
 
+    if args.shards is not None:
+        return _cmd_shard_faults(args)
+    if args.machines is None:
+        print(
+            "error: provide --machines (run-level faults) or --shards "
+            "(federation shard faults)",
+            file=sys.stderr,
+        )
+        return 2
     schedule = FaultSchedule.generate(
         num_machines=args.machines,
         num_supersteps=args.supersteps,
@@ -391,6 +444,38 @@ def cmd_workload(args) -> int:
     except (ServiceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        # Embed a seeded shard-outage scenario (workload format v2): one
+        # file then pins the whole federated chaos replay.
+        from dataclasses import replace as _dc_replace
+
+        from repro.errors import FaultError
+        from repro.faults.shards import ShardFaultSchedule
+
+        span_s = workload.jobs[-1].submit_s if workload.jobs else 0.0
+        horizon = (
+            args.shard_horizon
+            if args.shard_horizon is not None
+            else max(span_s, args.mean_interarrival) * 1.5
+        )
+        try:
+            shard_faults = ShardFaultSchedule.generate(
+                num_shards=args.shards,
+                horizon_s=horizon,
+                seed=(
+                    args.shard_fault_seed
+                    if args.shard_fault_seed is not None
+                    else args.seed
+                ),
+                crash_rate=args.shard_crash_rate,
+                downtime_s=args.shard_downtime,
+                partition_rate=args.shard_partition_rate,
+                slowdown_rate=args.shard_slowdown_rate,
+            )
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = _dc_replace(workload, shard_faults=shard_faults)
     workload.save(args.output)
     with_deadline = sum(1 for j in workload.jobs if j.deadline_s is not None)
     faulted = sum(
@@ -399,36 +484,77 @@ def cmd_workload(args) -> int:
         if j.faults is not None or j.fault_rates is not None
     )
     span = workload.jobs[-1].submit_s if workload.jobs else 0.0
+    shard_note = ""
+    if workload.shard_faults is not None:
+        shard_note = (
+            f", {workload.shard_faults.num_events} shard fault(s) embedded"
+        )
     print(
         f"wrote {args.output}: {workload.num_jobs} job(s) over "
         f"{span:.4f} simulated seconds "
         f"({with_deadline} with deadlines, {faulted} with faults, "
-        f"seed {workload.seed})"
+        f"seed {workload.seed}{shard_note})"
     )
     return 0
 
 
-def cmd_serve(args) -> int:
-    from contextlib import nullcontext
+def _load_serve_workload(args):
+    """Load + apply the serve command's workload overrides, or exit 2."""
     from dataclasses import replace as _dc_replace
 
-    from repro.errors import ClusterError, ServiceError, WorkloadFormatError
-    from repro.faults.checkpoint import CheckpointPolicy
-    from repro.service import (
-        BreakerPolicy,
-        JobService,
-        ServicePolicy,
-        Workload,
+    from repro.service import Workload
+
+    workload = Workload.load(args.workload)
+    if args.deadline is not None:
+        # A blanket deadline for jobs that do not carry their own.
+        workload = _dc_replace(
+            workload,
+            jobs=tuple(
+                job
+                if job.deadline_s is not None
+                else _dc_replace(job, deadline_s=args.deadline)
+                for job in workload.jobs
+            ),
+        )
+    if args.seed is not None:
+        workload = _dc_replace(workload, seed=args.seed)
+    return workload
+
+
+def _serve_federated(args) -> int:
+    """``serve --shards``: replay through the federated service."""
+    from contextlib import nullcontext
+
+    from repro.errors import (
+        ClusterError,
+        FaultError,
+        ServiceError,
+        WorkloadFormatError,
     )
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.faults.shards import ShardFaultSchedule
+    from repro.federation import FederationPolicy, FederationService
+    from repro.service import BreakerPolicy, ServicePolicy
     from repro.utils.tables import format_table
 
+    specs = [s.strip() for s in args.cluster.split(";") if s.strip()]
+    if len(specs) == 1:
+        specs = specs * args.shards
+    if len(specs) != args.shards:
+        print(
+            f"error: --cluster describes {len(specs)} shard cluster(s) "
+            f"but --shards is {args.shards} (separate per-shard specs "
+            f"with ';', or give one spec for all shards)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        cluster = _build_cluster(args.cluster, args.scale)
+        clusters = [_build_cluster(spec, args.scale) for spec in specs]
     except ClusterError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        workload = Workload.load(args.workload)
+        workload = _load_serve_workload(args)
     except WorkloadFormatError as exc:
         print(f"error: workload {args.workload}: {exc}", file=sys.stderr)
         return 2
@@ -436,19 +562,168 @@ def cmd_serve(args) -> int:
         print(f"error: cannot read workload: {exc}", file=sys.stderr)
         return 2
 
-    if args.deadline is not None:
-        # A blanket deadline for jobs that do not carry their own.
-        workload = Workload(
-            jobs=tuple(
-                job
-                if job.deadline_s is not None
-                else _dc_replace(job, deadline_s=args.deadline)
-                for job in workload.jobs
-            ),
-            seed=workload.seed,
+    shard_faults = None
+    if args.shard_faults:
+        try:
+            shard_faults = ShardFaultSchedule.load(args.shard_faults)
+        except FaultError as exc:
+            print(
+                f"error: shard faults {args.shard_faults}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read shard faults: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        policy = ServicePolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_projected_wait_s=args.max_projected_wait,
+            shed_queue_depth=args.shed_depth,
+            shed_priority_max=args.shed_priority_max,
+            shed_iteration_cap=args.shed_cap,
+            max_attempts=args.max_attempts,
         )
-    if args.seed is not None:
-        workload = Workload(jobs=workload.jobs, seed=args.seed)
+        breaker = BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown,
+        )
+        fed_policy = FederationPolicy(
+            ring_replicas=args.ring_replicas,
+            steal_backlog=args.steal_backlog,
+            max_global_backlog=args.global_backlog,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    estimator = (
+        _make_estimator(args.policy, args.scale)
+        if args.policy != "default"
+        else None
+    )
+    observer = None
+    observed = nullcontext()
+    if args.obs_dir:
+        from repro.obs import Observer, enabled
+
+        observer = Observer()
+        observed = enabled(observer)
+
+    with observed:
+        service = FederationService(
+            clusters,
+            policy=policy,
+            breaker_policy=breaker,
+            federation=fed_policy,
+            estimator=estimator,
+            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+        )
+        try:
+            result = service.run_workload(workload, shard_faults=shard_faults)
+        except (FaultError, ServiceError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    summary = result.summary()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [(k, v) for k, v in sorted(summary.items())]
+        print(
+            format_table(
+                headers=("metric", "value"),
+                rows=rows,
+                title=(
+                    f"federated replay: {workload.num_jobs} job(s) on "
+                    f"{args.shards} shard(s) (seed {workload.seed})"
+                ),
+            )
+        )
+        print(
+            format_table(
+                headers=(
+                    "shard", "machines", "completed", "max depth",
+                    "steals in/out", "failovers in/out", "crashes",
+                    "breaker trips",
+                ),
+                rows=[
+                    (
+                        s.shard_id,
+                        ",".join(s.cluster_machines),
+                        s.jobs_completed,
+                        s.max_queue_depth,
+                        f"{s.steals_in}/{s.steals_out}",
+                        f"{s.failovers_in}/{s.failovers_out}",
+                        s.crashes,
+                        s.breaker_trips,
+                    )
+                    for s in result.shards
+                ],
+                title="per-shard report",
+            )
+        )
+        if result.events:
+            print(
+                format_table(
+                    headers=("t (s)", "kind", "shard", "job", "detail"),
+                    rows=[
+                        (f"{e.time_s:.4f}", e.kind, e.shard, e.job_id, e.detail)
+                        for e in result.events
+                    ],
+                    title="federation events",
+                )
+            )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(result.trace_json() + "\n")
+        print(f"federation trace written to {args.trace_out}")
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        write_run_artifacts(
+            observer, args.obs_dir, config=_obs_config(args), trace=result
+        )
+        print(f"observability artifacts: {args.obs_dir}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.errors import ClusterError, ServiceError, WorkloadFormatError
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.service import (
+        BreakerPolicy,
+        JobService,
+        ServicePolicy,
+    )
+    from repro.utils.tables import format_table
+
+    if args.shards is not None:
+        return _serve_federated(args)
+    if args.shard_faults:
+        print(
+            "error: --shard-faults requires --shards (federated mode)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cluster = _build_cluster(args.cluster, args.scale)
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        workload = _load_serve_workload(args)
+    except WorkloadFormatError as exc:
+        print(f"error: workload {args.workload}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read workload: {exc}", file=sys.stderr)
+        return 2
 
     try:
         policy = ServicePolicy(
@@ -748,19 +1023,41 @@ def build_parser() -> argparse.ArgumentParser:
     proc.set_defaults(func=cmd_process)
 
     flt = sub.add_parser(
-        "faults", help="sample a deterministic fault scenario"
+        "faults", help="sample a deterministic fault scenario "
+        "(run-level with --machines, shard-level with --shards)"
     )
-    flt.add_argument("--machines", type=_positive_int, required=True)
+    flt.add_argument("--machines", type=_positive_int, default=None,
+                     help="run-level mode: machines in the target cluster")
     flt.add_argument("--supersteps", type=_positive_int, default=50)
     flt.add_argument("--seed", type=int, default=0)
     flt.add_argument("--crash-rate", type=_rate, default=0.0,
-                     help="per-machine per-superstep crash probability")
+                     help="per-machine per-superstep crash probability "
+                     "(with --shards: per-shard crash probability)")
     flt.add_argument("--slowdown-rate", type=_rate, default=0.0,
-                     help="per-machine per-superstep slowdown probability")
+                     help="per-machine per-superstep slowdown probability "
+                     "(with --shards: per-shard slowdown probability)")
     flt.add_argument("--slowdown-factor", type=_nonnegative_float, default=4.0)
     flt.add_argument("--slowdown-duration", type=_positive_int, default=5)
     flt.add_argument("--network-rate", type=_rate, default=0.0,
                      help="per-superstep network degradation probability")
+    flt.add_argument("--shards", type=_positive_int, default=None,
+                     help="shard-level mode: sample a federation "
+                     "shard-outage schedule instead (replay with "
+                     "`serve --shards --shard-faults`)")
+    flt.add_argument("--horizon-s", type=_positive_float, default=5.0,
+                     help="shard mode: fault times drawn over [0, H) "
+                     "simulated seconds")
+    flt.add_argument("--downtime", type=_positive_float, default=1.0,
+                     help="shard mode: mean crash downtime (seconds)")
+    flt.add_argument("--partition-rate", type=_rate, default=0.0,
+                     help="shard mode: per-shard partition probability")
+    flt.add_argument("--partition-duration", type=_positive_float,
+                     default=0.5,
+                     help="shard mode: mean partition length (seconds)")
+    flt.add_argument("--slowdown-duration-s", type=_positive_float,
+                     default=0.5,
+                     help="shard mode: mean scheduler slowdown length "
+                     "(seconds)")
     flt.add_argument("--output", help="write the schedule JSON here")
     flt.set_defaults(func=cmd_faults)
 
@@ -792,6 +1089,22 @@ def build_parser() -> argparse.ArgumentParser:
                      "fraction of jobs (breaker demo)")
     wkl.add_argument("--hot-fraction", type=_rate, default=0.0)
     wkl.add_argument("--hot-repeats", type=_positive_int, default=1)
+    wkl.add_argument("--shards", type=_positive_int, default=None,
+                     help="embed a seeded shard-outage schedule for this "
+                     "many federation shards (workload format v2)")
+    wkl.add_argument("--shard-crash-rate", type=_rate, default=0.0,
+                     help="per-shard crash probability for the embedded "
+                     "schedule")
+    wkl.add_argument("--shard-downtime", type=_positive_float, default=1.0,
+                     help="mean shard crash downtime (simulated seconds)")
+    wkl.add_argument("--shard-partition-rate", type=_rate, default=0.0)
+    wkl.add_argument("--shard-slowdown-rate", type=_rate, default=0.0)
+    wkl.add_argument("--shard-horizon", type=_positive_float, default=None,
+                     help="shard fault horizon (default: 1.5x the arrival "
+                     "span)")
+    wkl.add_argument("--shard-fault-seed", type=int, default=None,
+                     help="seed for the embedded shard schedule "
+                     "(default: the workload seed)")
     wkl.add_argument("--output", required=True,
                      help="workload JSON path (replay with `repro serve`)")
     wkl.set_defaults(func=cmd_workload)
@@ -801,9 +1114,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(DESIGN.md §12)"
     )
     srv.add_argument("--cluster", required=True,
-                     help="comma-separated machine types")
+                     help="comma-separated machine types; with --shards, "
+                     "separate per-shard clusters with ';' (one spec = "
+                     "every shard gets that cluster)")
     srv.add_argument("--workload", required=True,
                      help="workload JSON file (see the `workload` command)")
+    srv.add_argument("--shards", type=_positive_int, default=None,
+                     help="federated mode: replay across this many "
+                     "scheduler shards behind a consistent-hash ring "
+                     "(DESIGN.md §13)")
+    srv.add_argument("--shard-faults",
+                     help="shard-outage schedule JSON (see `faults "
+                     "--shards`); overrides any schedule embedded in the "
+                     "workload")
+    srv.add_argument("--ring-replicas", type=_positive_int, default=64,
+                     help="virtual points per shard on the routing ring")
+    srv.add_argument("--steal-backlog", type=_positive_int, default=2,
+                     help="queue length at which an idle shard may steal "
+                     "from a backlogged peer")
+    srv.add_argument("--global-backlog", type=_positive_int, default=None,
+                     help="reject arrivals once this many jobs are queued "
+                     "federation-wide (default: unbounded)")
     srv.add_argument("--scale", type=_model_scale, default=0.01)
     srv.add_argument("--seed", type=int, default=None,
                      help="override the workload's service seed")

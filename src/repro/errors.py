@@ -21,6 +21,7 @@ __all__ = [
     "ServiceError",
     "WorkloadFormatError",
     "DeadlineExceeded",
+    "FederationError",
 ]
 
 
@@ -81,6 +82,15 @@ class ServiceError(ReproError):
 
 class WorkloadFormatError(ServiceError):
     """Malformed workload file; the message points at the bad record."""
+
+
+class FederationError(ServiceError):
+    """Invalid federation configuration, or a broken federation invariant.
+
+    Raised for malformed rings/policies, and — defensively — if a replay
+    ever tries to complete one job twice or strands a job without a
+    terminal record, which would break the exactly-once ledger contract.
+    """
 
 
 class DeadlineExceeded(ServiceError):

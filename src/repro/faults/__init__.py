@@ -23,6 +23,12 @@ from repro.faults.schedule import (
     NetworkFault,
     SlowdownFault,
 )
+from repro.faults.shards import (
+    ShardCrash,
+    ShardFaultSchedule,
+    ShardPartition,
+    ShardSlowdown,
+)
 from repro.faults.supervisor import StragglerReport, Supervisor
 
 __all__ = [
@@ -30,6 +36,10 @@ __all__ = [
     "SlowdownFault",
     "NetworkFault",
     "FaultSchedule",
+    "ShardCrash",
+    "ShardPartition",
+    "ShardSlowdown",
+    "ShardFaultSchedule",
     "CheckpointPolicy",
     "RetryPolicy",
     "StragglerReport",

@@ -1,0 +1,164 @@
+"""Append-only per-shard job journals and deterministic recovery.
+
+Every scheduler shard writes a journal entry for each custody change of a
+job: arrival routing (``assigned``), steals and failovers in and out,
+destroyed in-flight runs (``aborted``), terminal outcomes
+(``completed:<status>``) and post-crash re-admissions (``recovered``).
+The journal is *append-only* — entries carry a monotonically increasing
+per-shard sequence number and are never rewritten — which gives the
+federation two guarantees:
+
+* **deterministic crash recovery** — when a crashed shard restarts, the
+  set of jobs it still owes is a pure function of its journal prefix:
+  every job whose last custody entry hands the job *to* this shard and
+  that has no terminal entry (:meth:`ShardJournal.pending_job_ids`).
+  Replaying the journal on two identical runs re-admits the same jobs in
+  the same order, so recovery never forks the trace.
+* **exactly-once completion** — a terminal entry is written exactly when
+  the federation ledger accepts the job's one terminal record; a second
+  completion for the same job is a contract violation the federation
+  raises on rather than recording.
+
+The journal is also the audit artifact: it is serialized into the
+federation trace, so "which shard touched this job, when, and why" is
+reconstructable from the replay bytes alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import FederationError
+
+__all__ = [
+    "JOURNAL_KINDS",
+    "JournalEntry",
+    "ShardJournal",
+]
+
+#: Custody-in kinds: after one of these, the shard owes the job a
+#: terminal record (unless custody moves out again).
+_CUSTODY_IN = ("assigned", "steal_in", "failover_in", "recovered")
+
+#: Custody-out kinds: the job left this shard before terminating here.
+_CUSTODY_OUT = ("steal_out", "failover_out")
+
+#: Informational kinds: custody unchanged.
+_NEUTRAL = ("aborted",)
+
+#: Terminal kind prefix; the full kind is ``completed:<status>``.
+_TERMINAL_PREFIX = "completed:"
+
+JOURNAL_KINDS: Tuple[str, ...] = (
+    *_CUSTODY_IN,
+    *_CUSTODY_OUT,
+    *_NEUTRAL,
+    "completed",
+)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One append-only journal record."""
+
+    seq: int
+    time_s: float
+    kind: str
+    job_id: str
+    detail: str = ""
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "detail": self.detail,
+        }
+
+
+class ShardJournal:
+    """Append-only journal of one shard's job custody history."""
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self._entries: List[JournalEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[JournalEntry, ...]:
+        return tuple(self._entries)
+
+    def append(
+        self, time_s: float, kind: str, job_id: str, detail: str = ""
+    ) -> JournalEntry:
+        """Append one entry; sequence numbers are dense and monotone."""
+        base = kind.split(":", 1)[0]
+        if base not in JOURNAL_KINDS:
+            raise FederationError(
+                f"unknown journal kind {kind!r}; expected one of "
+                f"{JOURNAL_KINDS}"
+            )
+        if self._entries and time_s < self._entries[-1].time_s:
+            raise FederationError(
+                f"journal time went backwards on shard {self.shard_id}: "
+                f"{time_s} after {self._entries[-1].time_s}"
+            )
+        entry = JournalEntry(
+            seq=len(self._entries),
+            time_s=time_s,
+            kind=kind,
+            job_id=job_id,
+            detail=detail,
+        )
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Recovery replay
+    # ------------------------------------------------------------------ #
+
+    def replay(self) -> Dict[str, str]:
+        """Fold the journal into each job's final custody state.
+
+        Returns ``{job_id: state}`` where state is ``"pending"`` (this
+        shard still owes a terminal record), ``"transferred"`` (custody
+        moved to another shard) or ``"terminal"`` (completed here).
+        ``aborted`` entries do not change custody: a destroyed in-flight
+        run leaves the job pending unless a failover entry moved it.
+        """
+        state: Dict[str, str] = {}
+        for entry in self._entries:
+            base = entry.kind.split(":", 1)[0]
+            if base in _CUSTODY_IN:
+                state[entry.job_id] = "pending"
+            elif base in _CUSTODY_OUT:
+                state[entry.job_id] = "transferred"
+            elif base == "completed":
+                state[entry.job_id] = "terminal"
+        return state
+
+    def pending_job_ids(self) -> Tuple[str, ...]:
+        """Jobs this shard still owes, in first-custody order.
+
+        This is the deterministic recovery set: a restarted shard
+        re-admits exactly these jobs, ordered by the sequence number of
+        their *first* custody entry (stable across identical replays).
+        """
+        state = self.replay()
+        first_seen: Dict[str, int] = {}
+        for entry in self._entries:
+            if entry.job_id not in first_seen:
+                first_seen[entry.job_id] = entry.seq
+        pending = [
+            job_id
+            for job_id, job_state in sorted(state.items())
+            if job_state == "pending"
+        ]
+        return tuple(sorted(pending, key=lambda j: first_seen[j]))
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        return [entry.to_jsonable() for entry in self._entries]

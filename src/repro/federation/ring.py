@@ -1,0 +1,124 @@
+"""Consistent-hash ring routing jobs to scheduler shards.
+
+Jobs are routed by the sha256 *content fingerprint* of their input graph
+(:func:`repro.kernels.cache.graph_fingerprint`), so every resubmission of
+the same graph lands on the same shard and that shard's content-keyed
+profile/partition/estimate caches stay hot — the WindGP-style locality
+argument, applied to schedulers instead of workers.
+
+The ring is the textbook construction: each shard owns ``replicas``
+virtual points placed by hashing ``"shard:<id>:<replica>"`` with sha256,
+and a key routes to the first virtual point clockwise of the key's own
+hash.  Two properties matter (and are pinned by hypothesis tests):
+
+* **balance** — with enough virtual points per shard, key load spreads
+  close to uniformly across shards;
+* **minimal remapping** — adding a shard only moves keys *onto* the new
+  shard, and removing a shard only moves *that shard's* keys; everyone
+  else's cache locality survives membership churn.
+
+:meth:`HashRing.preference` returns the full failover order (each shard
+once, in ring-walk order), which is what the federation uses to re-route
+jobs around dead, partitioned or breaker-tripped shards: the first
+*healthy* shard in the preference list takes the job, and when the
+primary comes back the very same walk puts the key straight back on it.
+
+Everything is a pure function of (shard ids, replicas, key): no host
+randomness, no insertion-order dependence, byte-stable across processes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import FederationError
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    """Position of a token on the ring: the top 8 bytes of its sha256."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of shard ids.
+
+    Parameters
+    ----------
+    shard_ids:
+        Distinct non-negative shard indices (order irrelevant — the ring
+        layout depends only on the *set*).
+    replicas:
+        Virtual points per shard.  More points = tighter balance at the
+        cost of a larger (still tiny) sorted table.
+    """
+
+    def __init__(self, shard_ids: Sequence[int], replicas: int = 64):
+        ids = sorted(set(int(s) for s in shard_ids))
+        if not ids:
+            raise FederationError("ring needs at least one shard")
+        if any(s < 0 for s in ids):
+            raise FederationError("shard ids must be >= 0")
+        if len(ids) != len(tuple(shard_ids)):
+            raise FederationError("shard ids must be distinct")
+        if replicas < 1:
+            raise FederationError(f"replicas must be >= 1, got {replicas}")
+        self.shard_ids: Tuple[int, ...] = tuple(ids)
+        self.replicas = replicas
+        points: Dict[int, int] = {}
+        for shard in ids:
+            for replica in range(replicas):
+                point = _point(f"shard:{shard}:{replica}")
+                # Ties are astronomically unlikely but must still be
+                # deterministic: the lowest shard id keeps the point.
+                holder = points.get(point)
+                if holder is None or shard < holder:
+                    points[point] = shard
+        self._points: List[int] = sorted(points)
+        self._owners: List[int] = [points[p] for p in self._points]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_ids)
+
+    def route(self, key: str) -> int:
+        """Primary shard for a key (first virtual point clockwise)."""
+        idx = bisect.bisect_right(self._points, _point(f"key:{key}"))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def preference(self, key: str) -> Tuple[int, ...]:
+        """Failover order for a key: every shard once, in ring-walk order.
+
+        The walk starts at the key's primary and visits shards in the
+        order their next virtual points appear clockwise; re-routing to
+        ``preference[k]`` when the first ``k`` shards are unhealthy is
+        the standard consistent-hash failover rule.
+        """
+        start = bisect.bisect_right(self._points, _point(f"key:{key}"))
+        n = len(self._points)
+        order: List[int] = []
+        seen = set()
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == len(self.shard_ids):
+                    break
+        return tuple(order)
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Primary shard per key (bulk helper for tests/benchmarks)."""
+        return {key: self.route(key) for key in keys}
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "shards": list(self.shard_ids),
+            "replicas": self.replicas,
+        }

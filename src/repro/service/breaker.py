@@ -264,6 +264,16 @@ class BreakerBoard:
         """Whether any breaker currently down-weights its machine."""
         return any(b.state != STATE_CLOSED for b in self.breakers)
 
+    def all_open(self) -> bool:
+        """Whether every breaker is open (the whole cluster is distrusted).
+
+        The federation reads this as "shard effectively dark": a shard
+        whose entire board is open is routed around while any healthier
+        shard is reachable, composing per-cluster breakers into
+        federation-level backpressure.
+        """
+        return all(b.state == STATE_OPEN for b in self.breakers)
+
     def to_jsonable(self) -> Dict[str, Any]:
         return {
             "states": list(self.states()),

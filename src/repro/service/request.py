@@ -21,10 +21,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import WorkloadFormatError
 from repro.faults.schedule import FaultSchedule
+from repro.faults.shards import ShardFaultSchedule
 from repro.graph.digraph import DiGraph
 
 __all__ = [
     "WORKLOAD_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "GraphSpec",
     "FaultSpec",
     "JobRequest",
@@ -37,7 +39,12 @@ __all__ = [
     "JOB_STATUSES",
 ]
 
-WORKLOAD_FORMAT_VERSION = 1
+#: Current workload format.  Version 2 adds the optional top-level
+#: ``shard_faults`` block (a federation shard-fault schedule embedded in
+#: the workload, so one file pins a whole federated chaos replay);
+#: version 1 files remain loadable unchanged.
+WORKLOAD_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS: Tuple[int, ...] = (1, 2)
 
 #: Typed job outcomes.  Every submitted job ends in exactly one of these.
 STATUS_COMPLETED = "completed"
@@ -421,10 +428,18 @@ class JobRecord:
 
 @dataclass(frozen=True)
 class Workload:
-    """A replayable stream of job requests plus the service seed."""
+    """A replayable stream of job requests plus the service seed.
+
+    ``shard_faults`` (format v2) optionally embeds a federation
+    shard-fault schedule, so one workload file pins the *entire* chaos
+    replay — arrivals, per-job faults and shard outages — byte for byte.
+    The single-server :class:`~repro.service.service.JobService` ignores
+    it; the federation uses it unless an explicit schedule is passed.
+    """
 
     jobs: Tuple[JobRequest, ...] = ()
     seed: int = 0
+    shard_faults: Optional[ShardFaultSchedule] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "jobs", tuple(self.jobs))
@@ -448,11 +463,13 @@ class Workload:
         )
 
     def to_json(self) -> str:
-        payload = {
+        payload: Dict[str, Any] = {
             "format_version": WORKLOAD_FORMAT_VERSION,
             "seed": self.seed,
             "jobs": [job.to_jsonable() for job in self.jobs],
         }
+        if self.shard_faults is not None:
+            payload["shard_faults"] = self.shard_faults.to_jsonable()
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
@@ -464,11 +481,25 @@ class Workload:
         if not isinstance(payload, dict):
             raise WorkloadFormatError("workload JSON must be an object")
         version = payload.get("format_version", WORKLOAD_FORMAT_VERSION)
-        if version != WORKLOAD_FORMAT_VERSION:
+        if version not in SUPPORTED_FORMAT_VERSIONS:
             raise WorkloadFormatError(
                 f"workload format {version!r} is not supported "
-                f"(expected {WORKLOAD_FORMAT_VERSION})"
+                f"(expected one of {list(SUPPORTED_FORMAT_VERSIONS)})"
             )
+        shard_faults: Optional[ShardFaultSchedule] = None
+        if payload.get("shard_faults") is not None:
+            if version < 2:
+                raise WorkloadFormatError(
+                    "'shard_faults' requires format_version >= 2"
+                )
+            try:
+                shard_faults = ShardFaultSchedule.from_jsonable(
+                    payload["shard_faults"]
+                )
+            except Exception as exc:
+                raise WorkloadFormatError(
+                    f"malformed shard_faults: {exc}"
+                ) from exc
         raw_jobs = payload.get("jobs", [])
         if not isinstance(raw_jobs, list):
             raise WorkloadFormatError("'jobs' must be a list")
@@ -482,7 +513,7 @@ class Workload:
             seed = int(payload.get("seed", 0))
         except (TypeError, ValueError) as exc:
             raise WorkloadFormatError(f"malformed seed: {exc}") from exc
-        return cls(jobs=tuple(jobs), seed=seed)
+        return cls(jobs=tuple(jobs), seed=seed, shard_faults=shard_faults)
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

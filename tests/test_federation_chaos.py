@@ -1,0 +1,274 @@
+"""Federation chaos soak: a 120-job stream across 3 shards under fire.
+
+Extends the ``test_service_chaos`` soak to the federation: the stream
+mixes deadlines, seeded engine crash faults and a scripted shard fault
+schedule (two shard crashes, one partition, one slowdown), then the
+replay is checked against the federation's ledger invariants:
+
+* no job is lost and none runs twice — every submission gets exactly
+  one terminal record, and the journals agree with the ledger;
+* the simulated clock is monotone and no shard overlaps two runs
+  (zero-width pre-run rejections sort before runs at the same instant);
+* time/energy conservation — the summary totals are the sums of the
+  per-record charges, and jobs that never ran are charged nothing;
+* the scripted chaos actually happened (crashes, failovers, recoveries);
+* two same-seed replays produce byte-identical traces.
+"""
+
+import pytest
+
+from repro.cluster.catalog import get_machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.perfmodel import PerformanceModel
+from repro.faults import (
+    ShardCrash,
+    ShardFaultSchedule,
+    ShardPartition,
+    ShardSlowdown,
+)
+from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+from repro.federation import FederationPolicy, FederationService
+from repro.service import (
+    JOB_STATUSES,
+    BreakerPolicy,
+    ServicePolicy,
+    generate_workload,
+)
+
+NUM_JOBS = 120
+NUM_SHARDS = 3
+
+SHARD_FAULTS = ShardFaultSchedule(
+    crashes=(
+        ShardCrash(time_s=0.5, shard=0, downtime_s=0.6),
+        ShardCrash(time_s=1.5, shard=1, downtime_s=0.4),
+    ),
+    partitions=(ShardPartition(time_s=0.8, shard=2, duration_s=0.5),),
+    slowdowns=(
+        ShardSlowdown(time_s=2.0, shard=1, factor=3.0, duration_s=0.5),
+    ),
+)
+
+
+def _workload():
+    return generate_workload(
+        NUM_JOBS,
+        seed=29,
+        mean_interarrival_s=0.03,
+        deadline_fraction=0.25,
+        fault_fraction=0.2,
+        crash_rate=0.02,
+        hot_machine=1,
+        hot_fraction=0.1,
+        hot_repeats=1,
+    )
+
+
+def _clusters():
+    def one():
+        return Cluster(
+            [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+            perf=PerformanceModel(model_scale=0.01),
+        )
+
+    return [one() for _ in range(NUM_SHARDS)]
+
+
+@pytest.fixture(scope="module")
+def soak():
+    """One chaotic federated replay, shared by every check below."""
+    workload = _workload()
+
+    def run():
+        service = FederationService(
+            _clusters(),
+            policy=ServicePolicy(max_queue_depth=6, max_attempts=2),
+            breaker_policy=BreakerPolicy(failure_threshold=3, cooldown_s=1.0),
+            checkpoint=CheckpointPolicy(interval=5, restart_seconds=0.05),
+            engine_retry=RetryPolicy(max_retries=2, backoff_base_s=0.01),
+            federation=FederationPolicy(steal_backlog=2),
+        )
+        return service.run_workload(workload, shard_faults=SHARD_FAULTS)
+
+    return workload, run(), run()
+
+
+class TestNoJobLostOrDoubled:
+    def test_every_submission_has_one_terminal_record(self, soak):
+        workload, result, _ = soak
+        assert len(result.records) == NUM_JOBS
+        assert sorted(r.job_id for r in result.records) == sorted(
+            j.job_id for j in workload.jobs
+        )
+        assert all(r.status in JOB_STATUSES for r in result.records)
+
+    def test_record_ids_are_unique(self, soak):
+        _, result, _ = soak
+        ids = [r.job_id for r in result.records]
+        assert len(ids) == len(set(ids))
+
+    def test_journals_agree_with_the_ledger(self, soak):
+        _, result, _ = soak
+        # Exactly one completed:* journal entry per non-rejected job
+        # across all shard journals; rejected jobs hold no custody and
+        # are placed on shard -1.
+        completed = []
+        for shard in result.shards:
+            completed.extend(
+                e.job_id
+                for e in shard.journal
+                if e.kind.startswith("completed:")
+            )
+        assert len(completed) == len(set(completed))
+        placements = dict(result.placements)
+        ran = sorted(
+            r.job_id for r in result.records if r.status != "rejected"
+        )
+        assert sorted(completed) == ran
+        for r in result.records:
+            if r.status == "rejected":
+                assert placements[r.job_id] == -1
+            else:
+                assert placements[r.job_id] >= 0
+
+    def test_statuses_partition_the_submissions(self, soak):
+        _, result, _ = soak
+        summary = result.summary()
+        assert summary["jobs_submitted"] == NUM_JOBS
+        assert (
+            summary["jobs_completed"]
+            + summary["jobs_rejected"]
+            + summary["jobs_failed"]
+            + summary["jobs_deadline_exceeded"]
+            == NUM_JOBS
+        )
+
+
+class TestChaosActuallyHappened:
+    def test_shard_level_faults_fired(self, soak):
+        _, result, _ = soak
+        assert result.shard_crashes >= 1
+        assert result.failovers + result.recoveries > 0
+        assert any(e.kind == "shard_crash" for e in result.events)
+
+    def test_engine_level_chaos_fired(self, soak):
+        _, result, _ = soak
+        counts = result.service_view().by_status()
+        assert counts["completed"] > 0
+        assert counts["rejected"] > 0
+        assert counts["deadline_exceeded"] > 0
+        assert sum(r.crashes for r in result.records) > 0
+
+    def test_lost_work_is_accounted(self, soak):
+        _, result, _ = soak
+        if result.aborted_runs:
+            assert result.lost_seconds > 0.0
+        assert result.lost_seconds >= 0.0
+
+
+class TestMonotoneClock:
+    def test_per_job_times_ordered(self, soak):
+        _, result, _ = soak
+        for r in result.records:
+            assert r.submit_s >= 0.0
+            if r.start_s is not None:
+                assert r.start_s >= r.submit_s
+            if r.end_s is not None:
+                assert r.end_s >= r.start_s
+
+    def test_no_shard_overlaps_two_runs(self, soak):
+        _, result, _ = soak
+        placements = dict(result.placements)
+        for shard in result.shards:
+            ran = sorted(
+                (
+                    r
+                    for r in result.records
+                    if r.start_s is not None
+                    and placements[r.job_id] == shard.shard_id
+                ),
+                # Zero-width pre-run records (deadline_exceeded with
+                # attempts=0) must order before a run starting at the
+                # same instant.
+                key=lambda r: (r.start_s, r.end_s),
+            )
+            for prev, cur in zip(ran, ran[1:]):
+                assert cur.start_s >= prev.end_s - 1e-9, (
+                    shard.shard_id,
+                    prev.job_id,
+                    cur.job_id,
+                )
+
+    def test_makespan_covers_every_finish(self, soak):
+        _, result, _ = soak
+        last_end = max(
+            r.end_s for r in result.records if r.end_s is not None
+        )
+        assert result.makespan_s == last_end
+
+    def test_event_stream_is_time_sorted(self, soak):
+        _, result, _ = soak
+        times = [e.time_s for e in result.events]
+        assert times == sorted(times)
+
+    def test_journal_times_monotone_per_shard(self, soak):
+        _, result, _ = soak
+        for shard in result.shards:
+            times = [e.time_s for e in shard.journal]
+            assert times == sorted(times)
+
+
+class TestConservation:
+    def test_summary_totals_are_record_sums(self, soak):
+        _, result, _ = soak
+        summary = result.summary()
+        assert summary["charged_seconds_total"] == sum(
+            r.charged_seconds for r in result.records
+        )
+        assert summary["charged_energy_joules_total"] == sum(
+            r.charged_energy_joules for r in result.records
+        )
+        assert summary["retry_backoff_seconds_total"] == sum(
+            r.retries_backoff_s for r in result.records
+        )
+
+    def test_jobs_that_never_ran_cost_nothing(self, soak):
+        _, result, _ = soak
+        for r in result.records:
+            if r.start_s is None or r.end_s == r.start_s:
+                assert r.charged_seconds == 0.0
+                assert r.charged_energy_joules == 0.0
+
+    def test_shard_counters_sum_to_federation_totals(self, soak):
+        _, result, _ = soak
+        assert result.steals == sum(
+            s.steals_in for s in result.shards
+        )
+        assert sum(s.steals_in for s in result.shards) == sum(
+            s.steals_out for s in result.shards
+        )
+        assert result.failovers == sum(
+            s.failovers_in for s in result.shards
+        )
+        assert result.shard_crashes == sum(
+            s.crashes for s in result.shards
+        )
+        assert sum(s.jobs_completed for s in result.shards) == sum(
+            1 for r in result.records if r.status != "rejected"
+        )
+
+
+class TestReplayDeterminism:
+    def test_two_same_seed_runs_are_byte_identical(self, soak):
+        _, first, second = soak
+        assert first.trace_json() == second.trace_json()
+
+    def test_summaries_match_exactly(self, soak):
+        _, first, second = soak
+        assert first.summary() == second.summary()
+
+    def test_events_and_journals_match(self, soak):
+        _, first, second = soak
+        assert first.events == second.events
+        for a, b in zip(first.shards, second.shards):
+            assert a.journal == b.journal

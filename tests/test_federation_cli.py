@@ -1,0 +1,253 @@
+"""CLI tests for federated serving: ``serve --shards``, ``faults
+--shards`` and workload-embedded shard fault schedules.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import ShardFaultSchedule
+from repro.service import Workload
+
+
+def _make_workload(tmp_path, *extra):
+    path = tmp_path / "workload.json"
+    code = main(
+        [
+            "workload", "--jobs", "12", "--seed", "3",
+            "--mean-interarrival", "0.02",
+            "--deadline-fraction", "0.2",
+            "--output", str(path),
+            *extra,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestShardFaultsCommand:
+    def test_generate_prints_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "shard-faults.json"
+        code = main(
+            [
+                "faults", "--shards", "3", "--seed", "5",
+                "--crash-rate", "0.9", "--partition-rate", "0.5",
+                "--slowdown-rate", "0.5", "--horizon-s", "2.0",
+                "--output", str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "shard fault schedule" in captured
+        assert f"schedule saved to {out}" in captured
+        schedule = ShardFaultSchedule.load(out)
+        assert schedule.num_events > 0
+        schedule.validate_for(3)
+
+    def test_neither_machines_nor_shards_is_an_error(self, capsys):
+        code = main(["faults"])
+        assert code == 2
+        assert "--machines" in capsys.readouterr().err
+
+    def test_machine_mode_still_works(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        code = main(
+            ["faults", "--machines", "4", "--crash-rate", "0.2",
+             "--output", str(out)]
+        )
+        assert code == 0
+        assert "fault schedule" in capsys.readouterr().out
+
+
+class TestWorkloadEmbedding:
+    def test_shards_flag_embeds_a_v2_schedule(self, tmp_path, capsys):
+        path = _make_workload(
+            tmp_path,
+            "--shards", "3", "--shard-crash-rate", "0.9",
+            "--shard-partition-rate", "0.5",
+        )
+        captured = capsys.readouterr().out
+        assert "shard fault(s) embedded" in captured
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format_version"] == 2
+        assert "shard_faults" in payload
+        workload = Workload.load(path)
+        assert workload.shard_faults is not None
+        assert workload.shard_faults.num_events > 0
+
+    def test_no_shards_flag_stays_v2_without_schedule(self, tmp_path):
+        path = _make_workload(tmp_path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "shard_faults" not in payload
+        assert Workload.load(path).shard_faults is None
+
+
+class TestFederatedServe:
+    def test_smoke_with_trace_out(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge,c4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "3", "--trace-out", str(trace),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "federated replay: 12 job(s) on 3 shard(s)" in captured
+        assert "per-shard report" in captured
+        payload = json.loads(trace.read_text(encoding="utf-8"))
+        assert payload["summary"]["shards"] == 3
+        assert len(payload["records"]) == 12
+
+    def test_json_summary(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge,c4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "2", "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 2
+        assert summary["jobs_submitted"] == 12
+        assert "steals" in summary and "failovers" in summary
+
+    def test_per_shard_cluster_specs(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        code = main(
+            [
+                "serve",
+                "--cluster", "m4.2xlarge;c4.2xlarge,m4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        assert "c4.2xlarge,m4.2xlarge" in capsys.readouterr().out
+
+    def test_explicit_shard_fault_file(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        faults = tmp_path / "shard-faults.json"
+        assert (
+            main(
+                ["faults", "--shards", "2", "--seed", "5",
+                 "--crash-rate", "0.9", "--horizon-s", "0.3",
+                 "--output", str(faults)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge,c4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "2", "--shard-faults", str(faults),
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shard_crashes"] >= 1
+
+    def test_embedded_schedule_is_replayed(self, tmp_path, capsys):
+        workload = _make_workload(
+            tmp_path,
+            "--shards", "2", "--shard-crash-rate", "0.95",
+            "--shard-horizon", "0.3",
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge,c4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "2", "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shard_crashes"] >= 1
+
+
+class TestFederatedServeErrors:
+    def test_shard_faults_without_shards(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge",
+                "--workload", str(workload),
+                "--shard-faults", "whatever.json",
+            ]
+        )
+        assert code == 2
+        assert "--shard-faults requires --shards" in capsys.readouterr().err
+
+    def test_cluster_spec_count_mismatch(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge;c4.2xlarge",
+                "--workload", str(workload), "--shards", "3",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "2 shard cluster(s)" in err
+        assert "--shards is 3" in err
+
+    def test_bad_format_version_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"format_version": 9, "jobs": []}', encoding="utf-8"
+        )
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge",
+                "--workload", str(bad), "--shards", "2",
+            ]
+        )
+        assert code == 2
+        assert "[1, 2]" in capsys.readouterr().err
+
+    def test_schedule_for_more_shards_than_served(self, tmp_path, capsys):
+        workload = _make_workload(tmp_path)
+        faults = tmp_path / "shard-faults.json"
+        assert (
+            main(
+                ["faults", "--shards", "4", "--seed", "5",
+                 "--crash-rate", "0.95", "--horizon-s", "1.0",
+                 "--output", str(faults)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", "--cluster", "m4.2xlarge",
+                "--workload", str(workload),
+                "--shards", "2", "--shard-faults", str(faults),
+            ]
+        )
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--cluster", "m4.2xlarge", "--workload", "w.json",
+             "--shards", "2", "--ring-replicas", "0"],
+            ["serve", "--cluster", "m4.2xlarge", "--workload", "w.json",
+             "--shards", "2", "--steal-backlog", "0"],
+            ["serve", "--cluster", "m4.2xlarge", "--workload", "w.json",
+             "--shards", "0"],
+        ],
+    )
+    def test_bad_knobs_rejected_by_parser(self, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2

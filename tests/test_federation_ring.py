@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the consistent-hash ring.
+
+The two properties the federation's cache-locality story rests on:
+
+* **balance** — with 64 virtual points per shard, no shard receives more
+  than a small multiple of its fair share of routed keys;
+* **minimal remapping** — adding a shard only moves keys *onto* the new
+  shard, and removing a shard only moves *that shard's* keys; every
+  other key keeps its placement (and hence its warm caches).
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import HashRing
+
+shard_sets = st.sets(
+    st.integers(min_value=0, max_value=31), min_size=1, max_size=8
+)
+
+keys_strategy = st.lists(
+    st.text(alphabet="0123456789abcdef", min_size=1, max_size=32),
+    min_size=1,
+    max_size=200,
+    unique=True,
+)
+
+
+class TestRouting:
+    @given(shards=shard_sets, keys=keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_route_always_lands_on_a_member(self, shards, keys):
+        ring = HashRing(sorted(shards))
+        for key in keys:
+            assert ring.route(key) in shards
+
+    @given(shards=shard_sets, key=st.text(max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_preference_is_a_permutation_starting_at_primary(
+        self, shards, key
+    ):
+        ring = HashRing(sorted(shards))
+        order = ring.preference(key)
+        assert sorted(order) == sorted(shards)
+        assert order[0] == ring.route(key)
+
+    @given(shards=shard_sets, keys=keys_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_same_construction_routes_identically(self, shards, keys):
+        a = HashRing(sorted(shards))
+        b = HashRing(sorted(shards, reverse=True))
+        assert a.assignments(keys) == b.assignments(keys)
+
+
+class TestBalance:
+    @given(
+        num_shards=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_shard_hoards_the_keyspace(self, num_shards, seed):
+        ring = HashRing(range(num_shards), replicas=64)
+        keys = [f"key-{seed}-{i:04d}" for i in range(400)]
+        loads = [0] * num_shards
+        for key in keys:
+            loads[ring.route(key)] += 1
+        fair = len(keys) / num_shards
+        # sha256 placement with 64 virtual points stays well inside 3x
+        # fair share; the bound is loose on purpose (a property, not a
+        # benchmark) but tight enough to catch a broken hash or bisect.
+        assert max(loads) <= 3.0 * fair + 5
+        assert min(loads) >= 0
+
+
+class TestMinimalRemapping:
+    @given(shards=shard_sets, keys=keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_join_only_moves_keys_onto_the_new_shard(self, shards, keys):
+        new = max(shards) + 1
+        before = HashRing(sorted(shards)).assignments(keys)
+        after = HashRing(sorted(shards | {new})).assignments(keys)
+        for key in keys:
+            assert after[key] == before[key] or after[key] == new
+
+    @given(
+        shards=st.sets(
+            st.integers(min_value=0, max_value=31), min_size=2, max_size=8
+        ),
+        keys=keys_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_leave_only_moves_the_lost_shards_keys(self, shards, keys):
+        gone = min(shards)
+        before = HashRing(sorted(shards)).assignments(keys)
+        after = HashRing(sorted(shards - {gone})).assignments(keys)
+        for key in keys:
+            if before[key] != gone:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != gone
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(FederationError, match="at least one shard"):
+            HashRing([])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(FederationError, match=">= 0"):
+            HashRing([-1, 0])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(FederationError, match="distinct"):
+            HashRing([0, 0, 1])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(FederationError, match="replicas"):
+            HashRing([0], replicas=0)
+
+    def test_jsonable_shape(self):
+        ring = HashRing([0, 1, 2], replicas=16)
+        assert ring.to_jsonable() == {"shards": [0, 1, 2], "replicas": 16}
+        assert ring.num_shards == 3
