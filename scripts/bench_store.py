@@ -1,0 +1,270 @@
+"""Benchmark warm-store restarts of `repro serve` (BENCH_PR7.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_store.py --scale 0.01
+
+Replays a seeded CCR-policy workload (the fig-series shape: proxy
+profiling + estimation + partitioning per job) twice per shard count —
+once *cold* against a freshly initialised summary store, once *warm*
+against the store the cold run materialized, with the in-process caches
+emptied in between to simulate a process restart.  Records wall-clock
+for both runs, the warm/cold speedup, per-cache hit counters and the
+sha256 of the replay trace, at 1 and 4 federation shards (the shards
+share one store file, like a live `serve --shards --store`).
+
+Byte-identity and the cache counters are *deterministic* quantities, so
+``--check`` holds them to the checked-in baseline exactly (REL_TOL for
+floats); wall-clock is informational, but the warm restart must clear
+the ≥2x speedup floor the PR is gated on — a warm run that recomputes
+would fail that immediately.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+
+#: Relative tolerance for the determinism gate on simulated metrics.
+REL_TOL = 1e-6
+
+#: The acceptance floor: a warm restart must be at least this much
+#: faster than the cold run it replays.
+MIN_SPEEDUP = 2.0
+
+SHARD_COUNTS = (1, 4)
+
+NUM_JOBS = 24
+SEED = 17
+MEAN_INTERARRIVAL_S = 0.02
+
+
+def _cluster(scale):
+    from repro.cluster.catalog import get_machine
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.perfmodel import PerformanceModel
+
+    return Cluster(
+        [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+        perf=PerformanceModel(model_scale=scale),
+    )
+
+
+def _estimator(scale):
+    """The serve --policy ccr estimator: proxy profiling per cluster."""
+    from repro.core.estimators import ProxyCCREstimator
+    from repro.core.profiler import ProxyProfiler
+    from repro.core.proxy import ProxySet
+
+    proxies = ProxySet(num_vertices=max(1000, round(3_200_000 * scale)))
+    return ProxyCCREstimator(profiler=ProxyProfiler(proxies=proxies))
+
+
+def _replay(workload, num_shards, scale):
+    """One serve replay; returns (trace_json, summary)."""
+    from repro.federation import FederationService
+    from repro.service import JobService
+
+    if num_shards == 1:
+        service = JobService(_cluster(scale), estimator=_estimator(scale))
+    else:
+        service = FederationService(
+            [_cluster(scale) for _ in range(num_shards)],
+            estimator=_estimator(scale),
+        )
+    result = service.run_workload(workload)
+    return result.trace_json(), result.summary()
+
+
+def _cache_counters():
+    from repro.kernels.cache import cache_stats
+
+    persisted = ("profile_trace", "machine_time", "assignment", "estimate")
+    stats = cache_stats()
+    out = {}
+    for name in persisted:
+        entry = stats[name]
+        lookups = entry["hits"] + entry["misses"]
+        out[name] = {
+            "hits": entry["hits"],
+            "misses": entry["misses"],
+            "store_hits": entry["store_hits"],
+            "hit_rate": round(entry["hits"] / lookups, 6) if lookups else 0.0,
+        }
+    return out
+
+
+def run_bench(scale):
+    from repro.kernels.cache import attach_store, clear_all_caches, detach_store
+    from repro.service import generate_workload
+    from repro.store import SummaryStore
+
+    workload = generate_workload(
+        NUM_JOBS,
+        seed=SEED,
+        mean_interarrival_s=MEAN_INTERARRIVAL_S,
+        graph_sizes=(600, 900, 1200),
+    )
+    entry = {
+        "jobs": NUM_JOBS,
+        "seed": SEED,
+        "policy": "ccr",
+        "shards": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for num_shards in SHARD_COUNTS:
+            store_path = os.path.join(tmp, f"store-{num_shards}.db")
+            with SummaryStore.create(store_path) as store:
+                # Cold: empty caches, empty store — the run pays full
+                # proxy profiling and materializes every row.
+                clear_all_caches()
+                attach_store(store)
+                started = time.perf_counter()  # repro: allow[DET001]
+                cold_trace, summary = _replay(workload, num_shards, scale)
+                cold_wall = time.perf_counter() - started  # repro: allow[DET001]
+
+                # Warm: simulated restart — L1s emptied, store kept.
+                clear_all_caches()
+                started = time.perf_counter()  # repro: allow[DET001]
+                warm_trace, _ = _replay(workload, num_shards, scale)
+                warm_wall = time.perf_counter() - started  # repro: allow[DET001]
+                counters = _cache_counters()
+                rows = store.counts()
+                detach_store()
+
+            speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+            entry["shards"][str(num_shards)] = {
+                "byte_identical": cold_trace == warm_trace,
+                "trace_sha256": hashlib.sha256(
+                    cold_trace.encode("utf-8")
+                ).hexdigest(),
+                "jobs_completed": summary["jobs_completed"],
+                "store_rows": rows,
+                "warm_caches": counters,
+                "cold_wall_seconds": round(cold_wall, 3),
+                "warm_wall_seconds": round(warm_wall, 3),
+                "warm_speedup": round(speedup, 2),
+            }
+            print(
+                f"{num_shards} shard(s): cold {cold_wall:.2f}s, "
+                f"warm {warm_wall:.2f}s ({speedup:.1f}x), "
+                f"byte_identical={cold_trace == warm_trace}, "
+                f"store rows {sum(rows.values())}, "
+                f"estimate store_hits "
+                f"{counters['estimate']['store_hits']}"
+            )
+    return entry
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {
+        "bench": "materialized summary store warm restarts (repro serve --store)",
+        "runs": {},
+    }
+
+
+#: Deterministic per-shard metrics gated exactly against the baseline.
+GATED_METRICS = ("byte_identical", "trace_sha256", "jobs_completed")
+
+
+def _gate_failures(name, recorded, measured):
+    failures = []
+    for metric in GATED_METRICS:
+        if measured[metric] != recorded[metric]:
+            failures.append(
+                f"{name} shard(s).{metric}: {measured[metric]!r} != "
+                f"baseline {recorded[metric]!r}"
+            )
+    for cache, counters in sorted(measured["warm_caches"].items()):
+        base = recorded["warm_caches"].get(cache, {})
+        for key in ("hits", "misses", "store_hits"):
+            if counters.get(key) != base.get(key):
+                failures.append(
+                    f"{name} shard(s).warm_caches.{cache}.{key}: "
+                    f"{counters.get(key)!r} != baseline {base.get(key)!r} "
+                    "(warm hit patterns are deterministic; drift means "
+                    "the key model or gating changed)"
+                )
+    if measured["store_rows"] != recorded["store_rows"]:
+        failures.append(
+            f"{name} shard(s).store_rows: {measured['store_rows']!r} != "
+            f"baseline {recorded['store_rows']!r}"
+        )
+    if not measured["byte_identical"]:
+        failures.append(
+            f"{name} shard(s): warm replay diverged from cold replay"
+        )
+    if measured["warm_speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"{name} shard(s).warm_speedup: {measured['warm_speedup']}x "
+            f"< required {MIN_SPEEDUP}x (warm restart is recomputing)"
+        )
+    return failures
+
+
+def check(scale):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale)
+    failures = []
+    for name, measured in sorted(entry["shards"].items()):
+        recorded = baseline["shards"].get(name)
+        if recorded is None:
+            failures.append(f"{name} shard(s): no baseline entry")
+            continue
+        failures.extend(_gate_failures(name, recorded, measured))
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(
+        f"check passed at scale {scale}: warm restarts byte-identical, "
+        f"hit patterns unchanged, speedup floor {MIN_SPEEDUP}x held"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="performance-model scale for the clusters")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale))
+
+    doc = load_doc()
+    entry = run_bench(args.scale)
+    for name, measured in sorted(entry["shards"].items()):
+        if measured["warm_speedup"] < MIN_SPEEDUP:
+            print(
+                f"warning: {name} shard(s) warm speedup "
+                f"{measured['warm_speedup']}x is below the {MIN_SPEEDUP}x "
+                "acceptance floor",
+                file=sys.stderr,
+            )
+    doc.setdefault("runs", {})[str(args.scale)] = entry
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -261,6 +261,7 @@ class UnorderedIterationRule:
         "repro.kernels",
         "repro.service",
         "repro.federation",
+        "repro.store",
     )
 
     _VIEWS = frozenset({"items", "keys", "values"})

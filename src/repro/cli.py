@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the library's main entry points without writing code:
+Ten commands cover the library's main entry points without writing code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
@@ -30,6 +30,12 @@ Nine commands cover the library's main entry points without writing code:
 * ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
 * ``lint``      — run the AST-based determinism & contract linter over
   the tree (text or ``--json``; exit 0 clean, 1 findings, 2 error).
+* ``gen``       — manage the materialized summary store (DESIGN.md §14):
+  ``--init`` creates it atomically, ``--all`` warms it by replaying a
+  workload with the store attached, ``--refresh`` drops namespaces,
+  ``--stats``/``--vacuum`` inspect and compact.  ``serve``, ``process``
+  and ``experiment`` accept ``--store PATH`` to run against a warmed
+  store; store failures are typed and exit 2.
 
 Clusters are described as comma-separated machine type names from the
 catalog (e.g. ``m4.2xlarge,m4.2xlarge,c4.2xlarge,c4.2xlarge``).
@@ -151,6 +157,47 @@ def _make_estimator(policy: str, scale: float):
     raise SystemExit(f"error: unknown policy {policy!r}")
 
 
+def _store_attached(args):
+    """Context manager: open ``--store`` and back the kernel caches.
+
+    Yields the open :class:`~repro.store.store.SummaryStore` (or ``None``
+    when no ``--store`` was given); detaches and closes on exit.  Typed
+    store failures propagate — :func:`main` converts them to exit 2.
+    """
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _ctx():
+        path = getattr(args, "store", None)
+        if not path:
+            yield None
+            return
+        from repro.kernels.cache import attach_store, detach_store
+        from repro.store import SummaryStore
+
+        store = SummaryStore.open(path)
+        attach_store(store)
+        try:
+            yield store
+        finally:
+            detach_store()
+            store.close()
+
+    return _ctx()
+
+
+def _persist_run_summary(store, clusters, workload, policy, shards, result):
+    """Write one replay's metric summary into the store (serve --store)."""
+    from repro.store.codecs import CODECS
+    from repro.store.gen import run_summary_key
+
+    store.put(
+        "run_summary",
+        run_summary_key(clusters, workload, policy, shards),
+        CODECS["run_summary"].encode(result.summary()),
+    )
+
+
 def _load_graph(args):
     from repro.graph.datasets import load_dataset
     from repro.graph.io import read_edge_list, read_npz
@@ -255,7 +302,7 @@ def cmd_process(args) -> int:
         observer = Observer()
         observed = enabled(observer)
 
-    with observed:
+    with _store_attached(args), observed:
         if args.fault_schedule:
             schedule = FaultSchedule.load(args.fault_schedule)
             runtime = ResilientRuntime(
@@ -611,20 +658,27 @@ def _serve_federated(args) -> int:
         observer = Observer()
         observed = enabled(observer)
 
-    with observed:
-        service = FederationService(
-            clusters,
-            policy=policy,
-            breaker_policy=breaker,
-            federation=fed_policy,
-            estimator=estimator,
-            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
-        )
-        try:
-            result = service.run_workload(workload, shard_faults=shard_faults)
-        except (FaultError, ServiceError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+    with _store_attached(args) as store:
+        with observed:
+            service = FederationService(
+                clusters,
+                policy=policy,
+                breaker_policy=breaker,
+                federation=fed_policy,
+                estimator=estimator,
+                checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+            )
+            try:
+                result = service.run_workload(
+                    workload, shard_faults=shard_faults
+                )
+            except (FaultError, ServiceError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if store is not None:
+            _persist_run_summary(
+                store, clusters, workload, args.policy, args.shards, result
+            )
 
     summary = result.summary()
     if args.json:
@@ -755,15 +809,20 @@ def cmd_serve(args) -> int:
         observer = Observer()
         observed = enabled(observer)
 
-    with observed:
-        service = JobService(
-            cluster,
-            policy=policy,
-            breaker_policy=breaker,
-            estimator=estimator,
-            checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
-        )
-        result = service.run_workload(workload)
+    with _store_attached(args) as store:
+        with observed:
+            service = JobService(
+                cluster,
+                policy=policy,
+                breaker_policy=breaker,
+                estimator=estimator,
+                checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+            )
+            result = service.run_workload(workload)
+        if store is not None:
+            _persist_run_summary(
+                store, [cluster], workload, args.policy, None, result
+            )
 
     summary = result.summary()
     if args.json:
@@ -844,7 +903,7 @@ def cmd_experiment(args) -> int:
         observer = Observer()
         observed = enabled(observer)
 
-    with observed:
+    with _store_attached(args), observed:
         result = func(scale=args.scale) if takes_scale else func()
     rows = result.rows()
     headers = (
@@ -859,6 +918,113 @@ def cmd_experiment(args) -> int:
         config = getattr(result, "provenance", None) or _obs_config(args)
         write_run_artifacts(observer, args.obs_dir, config=config)
         print(f"observability artifacts: {args.obs_dir}")
+    return 0
+
+
+def cmd_gen(args) -> int:
+    """Manage the materialized summary store (``repro gen``)."""
+    from repro.service import Workload
+    from repro.store import SummaryStore
+    from repro.store.gen import PERSISTED_NAMESPACES, warm_store
+
+    if not (args.init or args.all or args.refresh or args.stats or args.vacuum):
+        print(
+            "error: nothing to do (pass --init, --all, --refresh, "
+            "--stats and/or --vacuum)",
+            file=sys.stderr,
+        )
+        return 2
+
+    store = (
+        SummaryStore.create(args.store)
+        if args.init
+        else SummaryStore.open(args.store)
+    )
+    try:
+        if args.init:
+            print(f"store initialised at {args.store} (or already present)")
+        if args.refresh:
+            requested = list(args.refresh)
+            if "all" in requested:
+                requested = list(PERSISTED_NAMESPACES)
+            for namespace in requested:
+                if namespace not in PERSISTED_NAMESPACES:
+                    print(
+                        f"error: unknown namespace {namespace!r} "
+                        f"(choose from {', '.join(PERSISTED_NAMESPACES)} "
+                        f"or 'all')",
+                        file=sys.stderr,
+                    )
+                    return 2
+                dropped = store.delete_namespace(namespace)
+                print(f"refreshed {namespace}: dropped {dropped} row(s)")
+        if args.all:
+            if not args.workload or not args.cluster:
+                print(
+                    "error: --all requires --workload and --cluster",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                workload = Workload.load(args.workload)
+            except OSError as exc:
+                print(f"error: cannot read workload: {exc}", file=sys.stderr)
+                return 2
+            specs = [s.strip() for s in args.cluster.split(";") if s.strip()]
+            if args.shards is not None:
+                if len(specs) == 1:
+                    specs = specs * args.shards
+                if len(specs) != args.shards:
+                    print(
+                        f"error: --cluster describes {len(specs)} shard "
+                        f"cluster(s) but --shards is {args.shards}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            clusters = [_build_cluster(spec, args.scale) for spec in specs]
+            estimator = (
+                _make_estimator(args.policy, args.scale)
+                if args.policy != "default"
+                else None
+            )
+            added = warm_store(
+                store,
+                workload,
+                clusters,
+                estimator=estimator,
+                policy_name=args.policy,
+                checkpoint_interval=args.checkpoint_interval,
+            )
+            for namespace, count in added.items():
+                print(f"materialized {namespace}: +{count} row(s)")
+            if not added:
+                print("store already warm for this workload (no new rows)")
+        if args.vacuum:
+            dropped = store.vacuum()
+            print(f"vacuumed: {dropped} quarantine record(s) dropped")
+        if args.stats:
+            from repro.utils.tables import format_table
+
+            stats = store.stats()
+            namespaces = stats["namespaces"]
+            quarantined = stats["quarantined"]
+            rows = [
+                (ns, namespaces.get(ns, 0), quarantined.get(ns, 0))
+                for ns in sorted(set(namespaces) | set(quarantined))
+            ]
+            print(
+                format_table(
+                    headers=("namespace", "rows", "quarantined"),
+                    rows=rows,
+                    title=(
+                        f"summary store {args.store} "
+                        f"(schema v{stats['schema_version']}, "
+                        f"{stats['total_rows']} row(s))"
+                    ),
+                )
+            )
+    finally:
+        store.close()
     return 0
 
 
@@ -1020,6 +1186,9 @@ def build_parser() -> argparse.ArgumentParser:
     proc.add_argument("--backend", choices=VALID_BACKENDS,
                       help="kernel backend (default: vectorized, or "
                       "$REPRO_KERNEL_BACKEND); results are bit-identical")
+    proc.add_argument("--store",
+                      help="summary store sqlite path (see `repro gen`); "
+                      "warm rows are reused, new results are persisted")
     proc.set_defaults(func=cmd_process)
 
     flt = sub.add_parser(
@@ -1175,6 +1344,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--backend", choices=VALID_BACKENDS,
                      help="kernel backend (default: vectorized, or "
                      "$REPRO_KERNEL_BACKEND); results are bit-identical")
+    srv.add_argument("--store",
+                     help="summary store sqlite path (see `repro gen`); "
+                     "warm rows are reused and the replay's metric "
+                     "summary is persisted")
     srv.set_defaults(func=cmd_serve)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -1186,7 +1359,49 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--backend", choices=VALID_BACKENDS,
                      help="kernel backend (default: vectorized, or "
                      "$REPRO_KERNEL_BACKEND); results are bit-identical")
+    exp.add_argument("--store",
+                     help="summary store sqlite path (see `repro gen`); "
+                     "warm rows are reused, new results are persisted")
     exp.set_defaults(func=cmd_experiment)
+
+    genstore = sub.add_parser(
+        "gen", help="manage the materialized summary store (DESIGN.md §14)"
+    )
+    genstore.add_argument("--store", required=True,
+                          help="summary store sqlite path")
+    genstore.add_argument("--init", action="store_true",
+                          help="create the store atomically if missing "
+                          "(idempotent over a valid store)")
+    genstore.add_argument("--all", action="store_true",
+                          help="warm the store by replaying --workload on "
+                          "--cluster with the store attached")
+    genstore.add_argument("--refresh", action="append", metavar="NAMESPACE",
+                          help="drop one namespace's rows first "
+                          "(repeatable; 'all' drops every namespace)")
+    genstore.add_argument("--stats", action="store_true",
+                          help="print per-namespace row counts and "
+                          "quarantine state")
+    genstore.add_argument("--vacuum", action="store_true",
+                          help="drop quarantine records and compact the "
+                          "store file")
+    genstore.add_argument("--workload",
+                          help="workload JSON to replay for --all")
+    genstore.add_argument("--cluster",
+                          help="cluster spec for --all; separate per-shard "
+                          "clusters with ';'")
+    genstore.add_argument("--shards", type=_positive_int, default=None,
+                          help="warm through the federation across this "
+                          "many shards (shared store)")
+    genstore.add_argument("--policy", default="default",
+                          choices=("default", "threads", "ccr", "oracle"),
+                          help="estimator policy; must match the serve "
+                          "invocation the warm rows should accelerate")
+    genstore.add_argument("--scale", type=_model_scale, default=0.01)
+    genstore.add_argument("--checkpoint-interval", type=int, default=10)
+    genstore.add_argument("--backend", choices=VALID_BACKENDS,
+                          help="kernel backend (default: vectorized, or "
+                          "$REPRO_KERNEL_BACKEND)")
+    genstore.set_defaults(func=cmd_gen)
 
     lnt = sub.add_parser(
         "lint", help="run the determinism & contract linter (static "
@@ -1228,7 +1443,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.kernels.backend import set_backend
 
         set_backend(backend)
-    return args.func(args)
+    from repro.errors import StoreError
+
+    try:
+        return args.func(args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

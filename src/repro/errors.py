@@ -22,6 +22,10 @@ __all__ = [
     "WorkloadFormatError",
     "DeadlineExceeded",
     "FederationError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreSchemaError",
+    "StoreLockedError",
 ]
 
 
@@ -91,6 +95,31 @@ class FederationError(ServiceError):
     ever tries to complete one job twice or strands a job without a
     terminal record, which would break the exactly-once ledger contract.
     """
+
+
+class StoreError(ReproError):
+    """Invalid summary-store request or an unusable store file.
+
+    The CLI surfaces these with exit code 2; the library never silently
+    serves a row it cannot verify (see :mod:`repro.store`).
+    """
+
+
+class StoreCorruptError(StoreError):
+    """The store file is not a readable summary store (truncated,
+    overwritten, or not sqlite at all)."""
+
+
+class StoreSchemaError(StoreError):
+    """The store's schema version does not match this library.
+
+    Stale stores are rejected, never reinterpreted: regenerate with
+    ``repro gen --init --refresh``.
+    """
+
+
+class StoreLockedError(StoreError):
+    """Another process holds the store's write lock past the timeout."""
 
 
 class DeadlineExceeded(ServiceError):

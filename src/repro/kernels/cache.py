@@ -32,26 +32,40 @@ Two rules keep the caches semantically invisible:
 * cached values are deterministic functions of their keys, so a hit
   returns exactly the bytes a miss would recompute (proven by the
   differential equivalence tests).
+
+Since the summary store landed, each cache is a
+:class:`~repro.store.backend.LayeredCache`: the in-process LRU is L1,
+and :func:`attach_store` optionally backs the persistable namespaces
+with a :class:`~repro.store.store.SummaryStore` so warm state survives
+restarts and L1 evictions.  Detached (the default), behaviour is
+identical to the original LRUs.  ``dgraph_cache`` is deliberately
+never persisted — materialized layouts are cheap to rebuild and
+expensive to serialize.
 """
 
 from __future__ import annotations
 
 import hashlib
-from collections import OrderedDict
 from dataclasses import astuple
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import MachineSpec
 from repro.cluster.perfmodel import PerformanceModel
 from repro.graph.digraph import DiGraph
+from repro.store.backend import LayeredCache, LRUCache
+from repro.store.codecs import CODECS
 
 __all__ = [
     "LRUCache",
+    "LayeredCache",
     "assignment_cache",
+    "attach_store",
+    "attached_store",
     "cache_stats",
     "clear_all_caches",
     "cluster_key",
+    "detach_store",
     "dgraph_cache",
     "estimate_cache",
     "graph_fingerprint",
@@ -62,68 +76,36 @@ __all__ = [
     "profile_trace_cache",
 ]
 
-_MISSING = object()
-
-
-class LRUCache:
-    """A small least-recently-used mapping with hit/miss accounting."""
-
-    def __init__(self, maxsize: int):
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        """Return the cached value or ``None``; refreshes recency on hit."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def stats(self) -> Dict[str, int]:
-        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
-
 
 #: (app name, graph fingerprint) -> machine-agnostic single-machine trace.
-profile_trace_cache = LRUCache(maxsize=64)
+profile_trace_cache = LayeredCache(
+    maxsize=64, namespace="profile_trace", codec=CODECS["profile_trace"]
+)
 
 #: (app, fingerprint, machine spec, perf params) -> runtime seconds.
-machine_time_cache = LRUCache(maxsize=4096)
+machine_time_cache = LayeredCache(
+    maxsize=4096, namespace="machine_time", codec=CODECS["machine_time"]
+)
 
 #: (algorithm, config, fingerprint, machines, weights) -> int32 assignment.
-assignment_cache = LRUCache(maxsize=32)
+assignment_cache = LayeredCache(
+    maxsize=32, namespace="assignment", codec=CODECS["assignment"]
+)
 
 #: (fingerprint, assignment digest, machines, seed) -> DistributedGraph.
-dgraph_cache = LRUCache(maxsize=32)
+#: In-process only: never backed by the store.
+dgraph_cache = LayeredCache(maxsize=32)
 
 #: (app, graph fingerprint, cluster key) -> projected runtime seconds.
 #: Shared across every job the service runs in one process; the key
 #: embeds the *full* cluster identity (machine specs, network, perf
 #: params) so two services fronting different clusters can never trade
 #: estimates (see :func:`cluster_key`).
-estimate_cache = LRUCache(maxsize=1024)
+estimate_cache = LayeredCache(
+    maxsize=1024, namespace="estimate", codec=CODECS["estimate"]
+)
 
-_ALL_CACHES: Tuple[Tuple[str, LRUCache], ...] = (
+_ALL_CACHES: Tuple[Tuple[str, LayeredCache], ...] = (
     ("profile_trace", profile_trace_cache),
     ("machine_time", machine_time_cache),
     ("assignment", assignment_cache),
@@ -133,7 +115,8 @@ _ALL_CACHES: Tuple[Tuple[str, LRUCache], ...] = (
 
 
 def clear_all_caches() -> None:
-    """Empty every kernel cache (test isolation; benchmark cold starts)."""
+    """Empty every kernel cache's in-process layer (test isolation;
+    benchmark cold starts).  An attached store is never cleared."""
     for _, cache in _ALL_CACHES:
         cache.clear()
 
@@ -141,6 +124,31 @@ def clear_all_caches() -> None:
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size counters per cache, in a fixed order."""
     return {name: cache.stats() for name, cache in _ALL_CACHES}
+
+
+def attach_store(store: Any) -> None:
+    """Back every persistable kernel cache with one summary store.
+
+    The store is shared process-wide — every service, every federation
+    shard, every experiment driver in the process reads and writes the
+    same materialized rows.  Codec-less caches (``dgraph``) ignore it.
+    """
+    for _, cache in _ALL_CACHES:
+        cache.attach(store)
+
+
+def detach_store() -> None:
+    """Detach the summary store from every kernel cache (L1s survive)."""
+    for _, cache in _ALL_CACHES:
+        cache.detach()
+
+
+def attached_store() -> Optional[Any]:
+    """The store currently backing the kernel caches, or ``None``."""
+    for _, cache in _ALL_CACHES:
+        if cache.namespace is not None and cache.attached:
+            return cache._store
+    return None
 
 
 # ---------------------------------------------------------------------- #

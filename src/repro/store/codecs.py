@@ -1,0 +1,122 @@
+"""Deterministic payload codecs, one per store namespace.
+
+Every value class the store persists has exactly one byte encoding, and
+that encoding round-trips losslessly:
+
+* floats serialize through Python's shortest-roundtrip ``repr`` (the same
+  rule the canonical trace JSON uses), so ``decode(encode(x)) == x`` to
+  the last bit;
+* :class:`~repro.engine.trace.ExecutionTrace` serializes through its
+  canonical JSON (format-versioned; stale formats fail loudly on decode);
+* partition assignments serialize as a dtype/length header plus the raw
+  little-endian array bytes, and decode to a *read-only* array — exactly
+  the frozen object the in-process assignment cache shares.
+
+Determinism of the encoding is what makes the per-row payload sha256 a
+meaningful integrity check: re-encoding the recomputed value must
+reproduce the stored bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "PayloadCodec",
+    "FLOAT_CODEC",
+    "TRACE_CODEC",
+    "ASSIGNMENT_CODEC",
+    "JSON_CODEC",
+    "CODECS",
+]
+
+
+class PayloadCodec:
+    """A named, deterministic ``value <-> bytes`` pair for one namespace."""
+
+    def __init__(
+        self,
+        name: str,
+        encode: Callable[[Any], bytes],
+        decode: Callable[[bytes], Any],
+    ):
+        self.name = name
+        self.encode = encode
+        self.decode = decode
+
+    def __repr__(self) -> str:
+        return f"PayloadCodec({self.name!r})"
+
+
+def _encode_float(value: Any) -> bytes:
+    return repr(float(value)).encode("ascii")
+
+
+def _decode_float(payload: bytes) -> float:
+    return float(payload.decode("ascii"))
+
+
+def _encode_trace(trace: Any) -> bytes:
+    encoded: bytes = trace.canonical_json().encode("utf-8")
+    return encoded
+
+
+def _decode_trace(payload: bytes) -> Any:
+    # Imported lazily: repro.engine's package init pulls in modules that
+    # themselves import the kernel caches (which import this module).
+    from repro.engine.trace import ExecutionTrace
+
+    return ExecutionTrace.from_jsonable(json.loads(payload.decode("utf-8")))
+
+
+#: Assignment payload header; bump with the layout.
+_ASSIGNMENT_MAGIC = b"i4le:"
+
+
+def _encode_assignment(assignment: Any) -> bytes:
+    arr = np.ascontiguousarray(assignment, dtype=np.dtype("<i4"))
+    return _ASSIGNMENT_MAGIC + str(arr.size).encode("ascii") + b"\n" + arr.tobytes()
+
+
+def _decode_assignment(payload: bytes) -> Any:
+    if not payload.startswith(_ASSIGNMENT_MAGIC):
+        raise ValueError("assignment payload missing its dtype header")
+    header, _, body = payload.partition(b"\n")
+    size = int(header[len(_ASSIGNMENT_MAGIC):])
+    arr = np.frombuffer(body, dtype=np.dtype("<i4"), count=size).astype(
+        np.int32, copy=True
+    )
+    # Mirror the in-process cache contract: cached assignments are frozen
+    # so every consumer shares one immutable value.
+    arr.setflags(write=False)
+    return arr
+
+
+def _encode_json(value: Any) -> bytes:
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_json(payload: bytes) -> Any:
+    return json.loads(payload.decode("utf-8"))
+
+
+FLOAT_CODEC = PayloadCodec("float", _encode_float, _decode_float)
+TRACE_CODEC = PayloadCodec("trace", _encode_trace, _decode_trace)
+ASSIGNMENT_CODEC = PayloadCodec(
+    "assignment", _encode_assignment, _decode_assignment
+)
+JSON_CODEC = PayloadCodec("json", _encode_json, _decode_json)
+
+#: Namespace -> codec, for every persisted namespace.  ``dgraph`` is
+#: deliberately absent: materialized layouts are cheap to rebuild and
+#: expensive to serialize, so that cache stays in-process only.
+CODECS = {
+    "profile_trace": TRACE_CODEC,
+    "machine_time": FLOAT_CODEC,
+    "estimate": FLOAT_CODEC,
+    "assignment": ASSIGNMENT_CODEC,
+    "run_summary": JSON_CODEC,
+}

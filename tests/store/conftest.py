@@ -1,0 +1,24 @@
+"""Fixtures for the summary-store suites.
+
+The global ``_kernel_isolation`` fixture already detaches any store and
+clears the in-process caches around every test; here we add a per-test
+store file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import SummaryStore
+
+
+@pytest.fixture
+def store_path(tmp_path) -> str:
+    return str(tmp_path / "summaries.db")
+
+
+@pytest.fixture
+def store(store_path):
+    st = SummaryStore.create(store_path)
+    yield st
+    st.close()

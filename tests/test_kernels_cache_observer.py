@@ -80,6 +80,42 @@ class TestObserverGate:
         assert profile_trace_cache.stats()["hits"] >= 1
 
 
+class TestObserverGateWithStore:
+    def test_attached_store_never_touched_under_observer(self, tmp_path):
+        """PR 7: the summary store inherits the PR 4 gate — an observed
+        run neither reads nor writes the store, and still computes the
+        same number."""
+        from repro.kernels.cache import (
+            attach_store,
+            clear_all_caches,
+            detach_store,
+        )
+        from repro.store import SummaryStore
+
+        cluster = make_cluster(0.01)
+        graph = make_graph()
+        with SummaryStore.create(str(tmp_path / "s.db")) as store:
+            attach_store(store)
+            cold = projected_seconds(cluster, "pagerank", graph)
+            rows_before = store.counts()
+            assert sum(rows_before.values()) >= 1  # store was populated
+
+            clear_all_caches()
+            with obs.enabled(obs.Observer()):
+                observed = projected_seconds(cluster, "pagerank", graph)
+            assert observed == cold
+            # Gated: zero store reads, zero new rows.
+            assert estimate_cache.stats()["store_hits"] == 0
+            assert profile_trace_cache.stats()["store_hits"] == 0
+            assert store.counts() == rows_before
+
+            # Uninstalled again: the store serves the warm row.
+            after = projected_seconds(cluster, "pagerank", graph)
+            assert after == cold
+            assert estimate_cache.stats()["store_hits"] == 1
+            detach_store()
+
+
 class TestCrossClusterIsolation:
     def test_estimates_never_leak_between_clusters(self):
         graph = make_graph()
