@@ -1,61 +1,117 @@
-"""Benchmark the `repro lint` pass and record the result as BENCH_PR3.json.
+"""Benchmark the `repro lint` whole-program pass: BENCH_PR8.json.
 
 Not part of the library — run from the repo root:
 
-    PYTHONPATH=src python scripts/bench_lint.py
+    PYTHONPATH=src python scripts/bench_lint.py            # record
+    PYTHONPATH=src python scripts/bench_lint.py --check    # gate
 
-Measures wall-clock runtime of the full rule set over ``src/repro``
-(median of several repetitions) and, as a fixed-point for the rule set
-itself, the per-rule finding counts over the known-bad test fixtures.
-The library tree is expected to be clean (0 findings); the fixtures are
-expected to be loud — both numbers are recorded so a regression in
-either direction is visible.
+Measures the cold run (empty summary cache: parse + extract + rules for
+every module) against the warm incremental run (every file unchanged:
+content-sha hits, only the whole-program join re-runs) over ``src/repro``
+with the full rule set, plus per-rule finding counts over the known-bad
+fixtures as a fixed point for rule semantics.
+
+``--check`` re-measures and gates:
+
+* the warm run must be at least ``MIN_SPEEDUP``× faster than the cold
+  run (the cache must actually skip the expensive phase);
+* warm and cold runs must agree on every count (the cache must never
+  change answers);
+* fixture per-rule counts must match the recorded baseline exactly (a
+  drifting count is a silent rule-semantics change);
+* the tree must still lint clean.
+
+Timing medians are recorded for humans; only the *ratio* is gated, so
+the check is robust to slow CI machines.
 """
 
+import argparse
 import json
 import os
 import statistics
+import sys
+import tempfile
 import time
 
-from repro.analysis import all_rules, lint_paths, lint_source
+from repro.analysis import (
+    SummaryCache,
+    all_rules,
+    lint_paths,
+    lint_source,
+    ruleset_signature,
+)
 
 REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
 SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
 FIXTURES = os.path.join(REPO_ROOT, "tests", "analysis", "fixtures")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR8.json")
 
-REPS = 5
+REPS = 3
+MIN_SPEEDUP = 2.0
 
 # (fixture file, rule to run, module override so scoped rules apply)
 FIXTURE_MATRIX = [
     ("det001_bad.py", "DET001", None),
     ("det002_bad.py", "DET002", None),
     ("det003_bad.py", "DET003", "repro.partition.fixture"),
+    ("det004_bad.py", "DET004", None),
+    ("det005_bad.py", "DET005", None),
+    ("det006_bad.py", "DET006", None),
     ("obs001_bad_obs.py", "OBS001", "repro.obs.fixture"),
     ("obs001_bad_lib.py", "OBS001", "repro.partition.fixture"),
     ("err001_bad.py", "ERR001", None),
+    ("err002_bad.py", "ERR002", "repro.service.fixture"),
     ("api001_bad.py", "API001", "repro.partition.fixture"),
+    ("store001_bad.py", "STORE001", "repro.service.fixture"),
+    ("store002_bad.py", "STORE002", "repro.store.fixture"),
+    ("fed001_bad.py", "FED001", "repro.federation.fixture"),
 ]
 
 
 def bench_tree():
+    """Cold vs warm wall time over src/repro with the full rule set."""
     rules = all_rules()
-    runtimes = []
-    report = None
+    signature = ruleset_signature(rules)
+    cold_times, warm_times = [], []
+    cold_report = warm_report = None
     for _ in range(REPS):
-        started = time.perf_counter()  # repro: allow[DET001]
-        report = lint_paths([SRC_REPRO], rules=rules)
-        runtimes.append(time.perf_counter() - started)  # repro: allow[DET001]
+        with tempfile.TemporaryDirectory() as tmp:
+            cache_path = os.path.join(tmp, "cache.json")
+            started = time.perf_counter()  # repro: allow[DET001]
+            cold_report = lint_paths(
+                [SRC_REPRO],
+                rules=rules,
+                cache=SummaryCache(cache_path, signature),
+            )
+            cold_times.append(
+                time.perf_counter() - started  # repro: allow[DET001]
+            )
+            started = time.perf_counter()  # repro: allow[DET001]
+            warm_report = lint_paths(
+                [SRC_REPRO],
+                rules=rules,
+                cache=SummaryCache(cache_path, signature),
+            )
+            warm_times.append(
+                time.perf_counter() - started  # repro: allow[DET001]
+            )
+    cold_median = statistics.median(cold_times)
+    warm_median = statistics.median(warm_times)
     return {
         "target": "src/repro",
-        "runtime_seconds_median": round(statistics.median(runtimes), 4),
-        "runtime_seconds_min": round(min(runtimes), 4),
         "repetitions": REPS,
-        "files_scanned": report.files_scanned,
-        "findings": len(report.findings),
-        "suppressed": len(report.suppressed),
-        "baselined": len(report.baselined),
-        "per_rule": report.per_rule_counts(include_hidden=True),
+        "cold_seconds_median": round(cold_median, 4),
+        "warm_seconds_median": round(warm_median, 4),
+        "warm_speedup": round(cold_median / warm_median, 2),
+        "files_scanned": cold_report.files_scanned,
+        "warm_cache_hits": warm_report.cache_hits,
+        "warm_cache_misses": warm_report.cache_misses,
+        "findings": len(cold_report.findings),
+        "suppressed": len(cold_report.suppressed),
+        "baselined": len(cold_report.baselined),
+        "per_rule": cold_report.per_rule_counts(include_hidden=True),
+        "warm_per_rule": warm_report.per_rule_counts(include_hidden=True),
+        "ruleset": ruleset_signature(rules),
     }
 
 
@@ -72,12 +128,71 @@ def bench_fixtures():
     return counts
 
 
-def main():
-    doc = {
-        "bench": "repro lint",
+def measure():
+    return {
+        "bench": "repro lint (whole-program, cached)",
         "tree": bench_tree(),
         "fixture_findings_per_rule": bench_fixtures(),
     }
+
+
+def check():
+    try:
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            recorded = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check error: cannot load {OUTPUT}: {exc}", file=sys.stderr)
+        return 2
+    measured = measure()
+    tree = measured["tree"]
+    failures = []
+    if tree["warm_speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"warm_speedup: {tree['warm_speedup']}x < required "
+            f"{MIN_SPEEDUP}x (the summary cache is not skipping work)"
+        )
+    if tree["per_rule"] != tree["warm_per_rule"]:
+        failures.append(
+            "cold and warm runs disagree on per-rule counts: "
+            f"{tree['per_rule']} vs {tree['warm_per_rule']} "
+            "(the cache changed answers)"
+        )
+    if tree["findings"] != 0:
+        failures.append(
+            f"src/repro has {tree['findings']} finding(s); the tree must "
+            "lint clean"
+        )
+    if tree["warm_cache_misses"] != 0:
+        failures.append(
+            f"warm run missed cache {tree['warm_cache_misses']} time(s); "
+            "expected 0 (content hashing is broken)"
+        )
+    want = recorded.get("fixture_findings_per_rule", {})
+    got = measured["fixture_findings_per_rule"]
+    if want != got:
+        failures.append(
+            f"fixture per-rule counts drifted: recorded {want}, got {got}"
+        )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(
+        f"check passed: warm {tree['warm_speedup']}x faster than cold "
+        f"(floor {MIN_SPEEDUP}x), counts exact, tree clean"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the recorded BENCH_PR8.json "
+                        "instead of updating it")
+    args = parser.parse_args()
+    if args.check:
+        sys.exit(check())
+    doc = measure()
     with open(OUTPUT, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -14,12 +14,22 @@ The pieces:
 * :mod:`repro.analysis.findings` — :class:`Finding` and severities;
 * :mod:`repro.analysis.context`  — per-module AST context (import
   resolution, parent links, dotted module names);
-* :mod:`repro.analysis.rulebase` — the :class:`Rule` protocol and registry;
+* :mod:`repro.analysis.rulebase` — the :class:`Rule` /
+  :class:`ProjectRule` protocols and the registry;
 * :mod:`repro.analysis.rules_determinism` — DET001/DET002/DET003;
-* :mod:`repro.analysis.rules_contracts` — OBS001/ERR001/API001;
+* :mod:`repro.analysis.rules_contracts` — OBS001/ERR001/ERR002/API001;
+* :mod:`repro.analysis.dataflow` — function summaries and the
+  interprocedural seed/RNG taint analysis;
+* :mod:`repro.analysis.project` — the whole-program
+  :class:`ProjectContext`, symbol resolution, the sha256 summary cache;
+* :mod:`repro.analysis.callgraph` — the project call graph
+  (``--graph`` artifact, entropy-consumer reachability);
+* :mod:`repro.analysis.rules_project` — DET004–DET006,
+  STORE001/STORE002, FED001 (whole-program rules);
 * :mod:`repro.analysis.suppressions` — ``# repro: allow[RULE-ID]``;
 * :mod:`repro.analysis.baseline` — grandfathered-finding baselines;
-* :mod:`repro.analysis.runner` — file collection and rule execution;
+* :mod:`repro.analysis.runner` — file collection, the two-phase
+  (module, then project) rule execution, cache wiring;
 * :mod:`repro.analysis.reporting` — text and JSON output.
 
 The linter is pure stdlib (``ast`` + ``tokenize``-free line scanning), so
@@ -29,24 +39,45 @@ it runs identically in CI and in offline containers.
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.context import ModuleContext, module_name_for_path
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ProjectContext, SummaryCache
 from repro.analysis.reporting import render_json, render_text
-from repro.analysis.rulebase import Rule, all_rules, get_rule
-from repro.analysis.runner import LintReport, lint_paths, lint_source
+from repro.analysis.rulebase import (
+    RULESET_VERSION,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    ruleset_signature,
+)
+from repro.analysis.runner import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "Finding",
     "LintReport",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
+    "RULESET_VERSION",
     "Rule",
     "Severity",
+    "SummaryCache",
     "all_rules",
     "get_rule",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "module_name_for_path",
     "render_json",
     "render_text",
+    "ruleset_signature",
 ]

@@ -97,3 +97,14 @@ class Baseline:
         for finding in findings:
             (known if finding in self else new).append(finding)
         return new, known
+
+    def stale(self, findings: Iterable[Finding]) -> List[_Key]:
+        """Entries matched by no current finding — debt already paid.
+
+        A stale entry is not harmless: it would silently re-grandfather
+        the finding if the same code came back.  ``--write-baseline``
+        prunes them (regeneration keys on current findings only);
+        ``--stats`` reports the count so CI can watch it hit zero.
+        """
+        matched = {f.fingerprint() for f in findings}
+        return sorted(self.entries - matched)

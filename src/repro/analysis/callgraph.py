@@ -1,0 +1,151 @@
+"""The project call graph: nodes, resolved edges, reachability.
+
+Built entirely from :class:`~repro.analysis.project.ModuleSummary`
+facts, so constructing it never re-parses a cached module.  Nodes are
+function qualnames (``module.Class.method``); edges carry the call
+site's file and line so interprocedural findings can render a
+``file:line`` chain.  Unresolved callees (dynamic dispatch, externals)
+are kept as *external* edge rows in the JSON artifact — CI diffing the
+``--graph`` output should see the boundary of the analysis, not a
+silently trimmed graph — but they never participate in reachability.
+
+Two structural properties the tests pin with hypothesis:
+
+* the edge set is a pure function of the module *set* — file ordering
+  cannot change it (everything is sorted at the joins);
+* reachability is monotone under edge addition — adding knowledge can
+  only grow the entropy-consumer closure, never shrink it (which is why
+  the DET005 "dropped seed" judgement is safe to cache per content
+  hash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
+
+__all__ = ["CallEdge", "CallGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class CallEdge:
+    """One resolved caller -> callee edge at one source location."""
+
+    caller: str
+    callee: str
+    file: str
+    line: int
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "caller": self.caller,
+            "callee": self.callee,
+            "file": self.file,
+            "line": self.line,
+        }
+
+
+@dataclass
+class CallGraph:
+    """Resolved project call graph plus the unresolved boundary."""
+
+    edges: Tuple[CallEdge, ...] = ()
+    external: Tuple[CallEdge, ...] = ()
+    nodes: FrozenSet[str] = frozenset()
+    _callers_of: Dict[str, Set[str]] = field(default_factory=dict, repr=False)
+    _callees_of: Dict[str, Set[str]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Any,
+        external: Any = (),
+        nodes: Any = None,
+    ) -> "CallGraph":
+        """Build a graph from explicit edge rows (tests, tooling).
+
+        ``nodes`` defaults to every endpoint of a resolved edge.
+        """
+        edge_set = set(edges)
+        endpoint_nodes = {e.caller for e in edge_set} | {
+            e.callee for e in edge_set
+        }
+        graph = cls(
+            edges=tuple(sorted(edge_set)),
+            external=tuple(sorted(set(external))),
+            nodes=frozenset(
+                endpoint_nodes if nodes is None else nodes
+            ),
+        )
+        for edge in graph.edges:
+            graph._callers_of.setdefault(edge.callee, set()).add(edge.caller)
+            graph._callees_of.setdefault(edge.caller, set()).add(edge.callee)
+        return graph
+
+    @classmethod
+    def from_project(cls, project: Any) -> "CallGraph":
+        """Join every module summary's call facts over the symbol table."""
+        edges: Set[CallEdge] = set()
+        external: Set[CallEdge] = set()
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for fn in summary.functions:
+                for call in fn.calls:
+                    target = project.resolve_callable(module, call.callee)
+                    edge = CallEdge(
+                        caller=fn.qualname,
+                        callee=(
+                            target.qualname
+                            if target is not None
+                            else call.callee
+                        ),
+                        file=summary.path,
+                        line=call.line,
+                    )
+                    (edges if target is not None else external).add(edge)
+        graph = cls(
+            edges=tuple(sorted(edges)),
+            external=tuple(sorted(external)),
+            nodes=frozenset(project.functions),
+        )
+        for edge in graph.edges:
+            graph._callers_of.setdefault(edge.callee, set()).add(edge.caller)
+            graph._callees_of.setdefault(edge.caller, set()).add(edge.callee)
+        return graph
+
+    # -- reachability ----------------------------------------------------- #
+
+    def reachable_to(self, targets: Set[str]) -> Set[str]:
+        """All nodes with a directed path *into* ``targets`` (inclusive).
+
+        This is the closure the taint analysis uses for "consumes
+        entropy transitively": monotone in the edge set by construction
+        (a worklist only ever adds).
+        """
+        closed = set(targets)
+        work: List[str] = list(targets)
+        while work:
+            current = work.pop()
+            for caller in self._callers_of.get(current, ()):
+                if caller not in closed:
+                    closed.add(caller)
+                    work.append(caller)
+        return closed
+
+    def callees(self, qualname: str) -> FrozenSet[str]:
+        return frozenset(self._callees_of.get(qualname, set()))
+
+    # -- artifacts -------------------------------------------------------- #
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "format_version": 1,
+            "nodes": sorted(self.nodes),
+            "edges": [e.to_jsonable() for e in self.edges],
+            "external": [e.to_jsonable() for e in self.external],
+            "counts": {
+                "nodes": len(self.nodes),
+                "edges": len(self.edges),
+                "external": len(self.external),
+            },
+        }

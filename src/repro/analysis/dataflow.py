@@ -1,0 +1,1075 @@
+"""Per-function dataflow facts and the interprocedural taint analysis.
+
+The module-scoped rules (DET001–DET003, OBS001, ERR001–ERR002, API001)
+see one AST at a time; the bugs that actually break byte-determinism in
+a grown system are *interprocedural* — a seed accepted at a service
+boundary and silently dropped two calls later, one RNG object threaded
+into two sibling shard scopes, an unordered container handed across a
+module boundary into a float accumulation loop.  Whole-program reasoning
+needs two layers:
+
+* **extraction** (:func:`extract_function_summaries`) distils each
+  function into a :class:`FunctionSummary` of plain, JSON-able facts —
+  which parameters are seeds, where they flow, which calls construct
+  RNGs, which arguments are unordered containers, which statements touch
+  sqlite or mutate a custody journal.  Summaries are a pure function of
+  the module source, which is what makes the content-hash lint cache
+  sound: a module whose bytes did not change contributes byte-identical
+  facts without being re-parsed.
+* **analysis** (:class:`TaintAnalysis`) joins the summaries over the
+  project call graph: the forward taint walk whose sources are
+  ``make_rng(seed)`` calls and parameters named ``seed``/``rng``, and
+  whose sinks are call boundaries, shard/machine constructors and stored
+  payloads.  The taint lattice is deliberately small —
+  ``rng < seed < unordered < ordered/untracked`` never mix — and every
+  judgement is conservative: a flow the analysis cannot resolve is
+  assumed consumed, so findings are structural facts, not speculation.
+
+Everything here is pure stdlib ``ast``; the facts, not the syntax, cross
+module boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "CallFact",
+    "FunctionSummary",
+    "SeedFlow",
+    "SeedPass",
+    "TaintAnalysis",
+    "extract_function_summaries",
+]
+
+#: Fully qualified callables that construct a random stream.  Matching is
+#: by exact name or by a ``repro.``-rooted suffix, so re-exports such as
+#: ``repro.utils.make_rng`` resolve to the same source.
+RNG_FACTORY_EXACT = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+RNG_FACTORY_SUFFIXES: Tuple[str, ...] = (".make_rng", ".spawn_rngs")
+
+#: Parameter-name shapes that mark a value as entropy-carrying.
+_SEED_NAMES = frozenset({"seed"})
+_RNG_NAMES = frozenset({"rng"})
+_SEED_SUFFIX = "_seed"
+_RNG_SUFFIX = "_rng"
+
+#: Final dotted segment of a callee that constructs a per-shard or
+#: per-machine scope: passing one RNG stream into two of these aliases
+#: the stream across scopes (DET004's sink set).
+_SCOPE_CONSTRUCTOR_RE = re.compile(
+    r"(shard|machine|worker|replica)", re.IGNORECASE
+)
+
+#: ``.execute``-family methods on a DB-API connection/cursor.
+_EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+#: Leading SQL verbs that mutate the store.
+_SQL_WRITE_VERBS = frozenset(
+    {"INSERT", "UPDATE", "DELETE", "REPLACE", "DROP", "ALTER"}
+)
+
+#: Container methods that mutate a list in place (FED001's sink set).
+_MUTATING_METHODS = frozenset(
+    {"append", "pop", "remove", "clear", "insert", "extend", "sort",
+     "reverse"}
+)
+
+
+def is_rng_factory(qualified: str) -> bool:
+    """Whether a resolved dotted name constructs a random stream."""
+    if qualified in RNG_FACTORY_EXACT:
+        return True
+    return qualified.startswith("repro.") and qualified.endswith(
+        RNG_FACTORY_SUFFIXES
+    )
+
+
+def classify_param(name: str) -> Optional[str]:
+    """``"seed"`` / ``"rng"`` taint kind for a parameter name, or None."""
+    if name in _SEED_NAMES or name.endswith(_SEED_SUFFIX):
+        return "seed"
+    if name in _RNG_NAMES or name.endswith(_RNG_SUFFIX):
+        return "rng"
+    return None
+
+
+def is_scope_constructor(callee: str) -> bool:
+    """Whether a callee name looks like a shard/machine scope factory."""
+    return bool(_SCOPE_CONSTRUCTOR_RE.search(callee.rsplit(".", 1)[-1]))
+
+
+# --------------------------------------------------------------------- #
+# Summary dataclasses (all JSON-able via to/from_jsonable)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SeedPass:
+    """One hop of a seed/rng value into a call argument."""
+
+    callee: str
+    resolved: bool
+    line: int
+    position: Optional[int]
+    keyword: Optional[str]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "callee": self.callee,
+            "resolved": self.resolved,
+            "line": self.line,
+            "position": self.position,
+            "keyword": self.keyword,
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: Dict[str, Any]) -> "SeedPass":
+        return cls(
+            callee=str(raw["callee"]),
+            resolved=bool(raw["resolved"]),
+            line=int(raw["line"]),
+            position=(
+                int(raw["position"]) if raw["position"] is not None else None
+            ),
+            keyword=(
+                str(raw["keyword"]) if raw["keyword"] is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SeedFlow:
+    """Everything one seed/rng parameter does inside its function.
+
+    ``referenced`` — the name appears at all after binding;
+    ``escapes``    — it is used somewhere the analysis cannot follow
+    (returned, stored in a container, arithmetic, an unresolved call),
+    in which case it is *assumed* consumed; ``consumed`` — it provably
+    feeds an RNG factory or is persisted on ``self``.
+    """
+
+    param: str
+    kind: str  # "seed" | "rng"
+    referenced: bool
+    escapes: bool
+    consumed: bool
+    passes: Tuple[SeedPass, ...] = ()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "param": self.param,
+            "kind": self.kind,
+            "referenced": self.referenced,
+            "escapes": self.escapes,
+            "consumed": self.consumed,
+            "passes": [p.to_jsonable() for p in self.passes],
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: Dict[str, Any]) -> "SeedFlow":
+        return cls(
+            param=str(raw["param"]),
+            kind=str(raw["kind"]),
+            referenced=bool(raw["referenced"]),
+            escapes=bool(raw["escapes"]),
+            consumed=bool(raw["consumed"]),
+            passes=tuple(
+                SeedPass.from_jsonable(p) for p in raw["passes"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site, annotated with the taints that cross it.
+
+    ``rng_args`` are ``(var, origin_line)`` pairs: local RNG objects
+    passed as arguments.  ``unordered_args`` are
+    ``(position, keyword, desc)`` triples: arguments whose iteration
+    order is unestablished (set literals/comprehensions, dict views,
+    variables assigned from them).
+    """
+
+    callee: str
+    resolved: bool
+    line: int
+    in_loop: bool
+    rng_args: Tuple[Tuple[str, int], ...] = ()
+    unordered_args: Tuple[Tuple[Optional[int], Optional[str], str], ...] = ()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "callee": self.callee,
+            "resolved": self.resolved,
+            "line": self.line,
+            "in_loop": self.in_loop,
+            "rng_args": [list(a) for a in self.rng_args],
+            "unordered_args": [list(a) for a in self.unordered_args],
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: Dict[str, Any]) -> "CallFact":
+        return cls(
+            callee=str(raw["callee"]),
+            resolved=bool(raw["resolved"]),
+            line=int(raw["line"]),
+            in_loop=bool(raw["in_loop"]),
+            rng_args=tuple(
+                (str(a[0]), int(a[1])) for a in raw["rng_args"]
+            ),
+            unordered_args=tuple(
+                (
+                    int(a[0]) if a[0] is not None else None,
+                    str(a[1]) if a[1] is not None else None,
+                    str(a[2]),
+                )
+                for a in raw["unordered_args"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """The distilled, cacheable facts for one function (or module body).
+
+    ``qualname`` is ``<module>.<Class>.<name>`` (class part optional);
+    the pseudo-function ``<module>`` holds facts for statements at module
+    scope.  ``params`` excludes ``self``/``cls`` so positional argument
+    matching works identically for functions, methods and constructors.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    cls: Optional[str]
+    line: int
+    is_public: bool
+    params: Tuple[str, ...] = ()
+    calls: Tuple[CallFact, ...] = ()
+    seed_flows: Tuple[SeedFlow, ...] = ()
+    entropy_lines: Tuple[int, ...] = ()
+    accum_params: Tuple[Tuple[str, int, int], ...] = ()  # (param, pos, line)
+    sqlite_calls: Tuple[Tuple[str, int], ...] = ()  # (qualified, line)
+    conn_execs: Tuple[Tuple[str, int], ...] = ()  # (method, line)
+    sql_writes: Tuple[Tuple[str, int], ...] = ()  # (verb, line)
+    journal_mutations: Tuple[Tuple[str, int], ...] = ()  # (desc, line)
+
+    @property
+    def consumes_entropy(self) -> bool:
+        return bool(self.entropy_lines)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "is_public": self.is_public,
+            "params": list(self.params),
+            "calls": [c.to_jsonable() for c in self.calls],
+            "seed_flows": [s.to_jsonable() for s in self.seed_flows],
+            "entropy_lines": list(self.entropy_lines),
+            "accum_params": [list(a) for a in self.accum_params],
+            "sqlite_calls": [list(a) for a in self.sqlite_calls],
+            "conn_execs": [list(a) for a in self.conn_execs],
+            "sql_writes": [list(a) for a in self.sql_writes],
+            "journal_mutations": [list(a) for a in self.journal_mutations],
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=str(raw["qualname"]),
+            module=str(raw["module"]),
+            name=str(raw["name"]),
+            cls=str(raw["cls"]) if raw["cls"] is not None else None,
+            line=int(raw["line"]),
+            is_public=bool(raw["is_public"]),
+            params=tuple(str(p) for p in raw["params"]),
+            calls=tuple(CallFact.from_jsonable(c) for c in raw["calls"]),
+            seed_flows=tuple(
+                SeedFlow.from_jsonable(s) for s in raw["seed_flows"]
+            ),
+            entropy_lines=tuple(int(n) for n in raw["entropy_lines"]),
+            accum_params=tuple(
+                (str(a[0]), int(a[1]), int(a[2]))
+                for a in raw["accum_params"]
+            ),
+            sqlite_calls=tuple(
+                (str(a[0]), int(a[1])) for a in raw["sqlite_calls"]
+            ),
+            conn_execs=tuple(
+                (str(a[0]), int(a[1])) for a in raw["conn_execs"]
+            ),
+            sql_writes=tuple(
+                (str(a[0]), int(a[1])) for a in raw["sql_writes"]
+            ),
+            journal_mutations=tuple(
+                (str(a[0]), int(a[1])) for a in raw["journal_mutations"]
+            ),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Extraction
+# --------------------------------------------------------------------- #
+
+
+def _arg_names(fn: ast.AST) -> List[str]:
+    """Parameter names in positional order, excluding self/cls."""
+    args = fn.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names += [a.arg for a in args.kwonlyargs]
+    return names
+
+
+class _Extractor:
+    """Walks one function body and accumulates its facts.
+
+    The walk is syntactic-order and loop-aware; it does not descend into
+    nested function/class definitions (those get their own summaries).
+    """
+
+    def __init__(
+        self,
+        ctx: Any,  # ModuleContext; typed loosely to avoid an import cycle
+        local_defs: Dict[str, str],
+        params: Sequence[str],
+    ) -> None:
+        self.ctx = ctx
+        self.local_defs = local_defs
+        self.params = list(params)
+        # Local taint environment: name -> "rng" | "unordered" | "conn".
+        self.taint: Dict[str, Tuple[str, int]] = {}
+        self.seed_state: Dict[str, Dict[str, Any]] = {}
+        for p in params:
+            kind = classify_param(p)
+            if kind is not None:
+                self.seed_state[p] = {
+                    "kind": kind,
+                    "referenced": False,
+                    "escapes": False,
+                    "consumed": False,
+                    "passes": [],
+                }
+            if kind == "rng":
+                self.taint[p] = ("rng", 0)
+        self.calls: List[CallFact] = []
+        self.entropy_lines: List[int] = []
+        self.accum_params: List[Tuple[str, int, int]] = []
+        self.sqlite_calls: List[Tuple[str, int]] = []
+        self.conn_execs: List[Tuple[str, int]] = []
+        self.sql_writes: List[Tuple[str, int]] = []
+        self.journal_mutations: List[Tuple[str, int]] = []
+        self._float_inits: Set[str] = set()
+
+    # -- name resolution ------------------------------------------------ #
+
+    def _resolve_callee(self, func: ast.expr) -> Tuple[str, bool]:
+        """(callee name, resolved?) for a call's function expression."""
+        qualified = self.ctx.resolve(func)
+        if qualified is not None:
+            return qualified, True
+        if isinstance(func, ast.Name):
+            local = self.local_defs.get(func.id)
+            if local is not None:
+                return local, True
+            return func.id, False
+        if isinstance(func, ast.Attribute):
+            chain: List[str] = []
+            current: ast.expr = func
+            while isinstance(current, ast.Attribute):
+                chain.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                chain.append(current.id)
+                return ".".join(reversed(chain)), False
+        return "<dynamic>", False
+
+    # -- expression classification -------------------------------------- #
+
+    def _is_view_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("items", "keys", "values")
+            and not node.args
+        )
+
+    def _unordered_desc(self, node: ast.expr) -> Optional[str]:
+        """Why an argument expression has unestablished order, if it does."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set literal/comprehension"
+        if self._is_view_call(node):
+            return f".{node.func.attr}() view"  # type: ignore[attr-defined]
+        if isinstance(node, ast.Call):
+            callee, _ = self._resolve_callee(node.func)
+            if callee == "set" or callee == "frozenset":
+                return f"{callee}(...) result"
+            return None
+        if isinstance(node, ast.Name):
+            tainted = self.taint.get(node.id)
+            if tainted is not None and tainted[0] == "unordered":
+                return f"variable {node.id!r} (set-valued)"
+        return None
+
+    # -- statement walk ------------------------------------------------- #
+
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt, in_loop=False)
+
+    def _stmt(self, node: ast.stmt, in_loop: bool) -> None:
+        """Visit one statement; recurse into child statements exactly once.
+
+        Expressions are walked with the ``in_loop`` flag of the statement
+        they syntactically belong to, so a call under an ``if`` inside a
+        ``for`` is correctly loop-scoped while the loop's own iterable is
+        not.
+        """
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes get their own summaries
+        if isinstance(node, ast.Assign):
+            self._record_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._record_mutation_target(node.target, "augmented assignment")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_mutation_target(target, "del")
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._record_accumulation(node)
+        loops = isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+        for field_name, value in ast.iter_fields(node):
+            children = value if isinstance(value, list) else [value]
+            body_in_loop = in_loop or (
+                loops and field_name in ("body", "orelse")
+            )
+            for child in children:
+                if isinstance(child, ast.stmt):
+                    self._stmt(child, body_in_loop)
+                elif isinstance(child, ast.expr):
+                    self._expr_walk(child, in_loop)
+                elif isinstance(child, ast.ExceptHandler):
+                    if child.type is not None:
+                        self._expr_walk(child.type, in_loop)
+                    for inner in child.body:
+                        self._stmt(inner, in_loop)
+                elif isinstance(child, ast.withitem):
+                    self._expr_walk(child.context_expr, in_loop)
+                elif isinstance(child, ast.keyword):
+                    self._expr_walk(child.value, in_loop)
+
+    def _expr_walk(self, expr: ast.expr, in_loop: bool) -> None:
+        """Record calls and seed uses in one expression tree."""
+        for child in ast.walk(expr):
+            if isinstance(child, ast.Call):
+                self._record_call(
+                    child, in_loop or self._in_comprehension(child)
+                )
+            elif (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id in self.seed_state
+            ):
+                # rng.method(...) draws from the stream (consumption);
+                # seed.<attr> wanders out of the lattice (escape).
+                state = self.seed_state[child.value.id]
+                state["referenced"] = True
+                if state["kind"] == "rng":
+                    state["consumed"] = True
+                else:
+                    state["escapes"] = True
+            elif isinstance(child, ast.Name) and child.id in self.seed_state:
+                state = self.seed_state[child.id]
+                state["referenced"] = True
+                if not self._name_is_call_arg(child):
+                    state["escapes"] = True
+
+    def _in_comprehension(self, node: ast.AST) -> bool:
+        """Whether a call executes per-element inside a comprehension."""
+        current: Optional[ast.AST] = self.ctx.parent(node)
+        for _ in range(64):
+            if current is None or isinstance(current, ast.stmt):
+                return False
+            if isinstance(
+                current,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                return True
+            current = self.ctx.parent(current)
+        return False
+
+    # -- assignments & taint -------------------------------------------- #
+
+    def _record_assign(self, node: ast.Assign) -> None:
+        names = [
+            t.id for t in node.targets if isinstance(t, ast.Name)
+        ]
+        for target in node.targets:
+            self._record_mutation_target(target, "assignment")
+        # self.<attr> = seed threads the value via instance state.
+        if isinstance(node.value, ast.Name) and node.value.id in (
+            self.seed_state
+        ):
+            if any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in node.targets
+            ):
+                state = self.seed_state[node.value.id]
+                state["referenced"] = True
+                state["consumed"] = True
+        if not names:
+            return
+        value = node.value
+        line = node.lineno
+        if isinstance(value, ast.Call):
+            callee, _ = self._resolve_callee(value.func)
+            if is_rng_factory(callee) and not callee.endswith("spawn_rngs"):
+                for name in names:
+                    self.taint[name] = ("rng", line)
+                return
+            if callee == "sqlite3.connect":
+                for name in names:
+                    self.taint[name] = ("conn", line)
+                return
+            if callee in ("set", "frozenset"):
+                for name in names:
+                    self.taint[name] = ("unordered", line)
+                return
+            if callee == "sorted":
+                for name in names:
+                    self.taint.pop(name, None)
+                return
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            for name in names:
+                self.taint[name] = ("unordered", line)
+            return
+        if isinstance(value, ast.Name) and value.id in self.taint:
+            for name in names:
+                self.taint[name] = self.taint[value.id]
+            return
+        for name in names:
+            self.taint.pop(name, None)
+
+    # -- calls ----------------------------------------------------------- #
+
+    def _record_call(self, node: ast.Call, in_loop: bool) -> None:
+        callee, resolved = self._resolve_callee(node.func)
+        line = node.lineno
+
+        # sqlite surface ------------------------------------------------ #
+        if resolved and (
+            callee == "sqlite3" or callee.startswith("sqlite3.")
+        ):
+            self.sqlite_calls.append((callee, line))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _EXECUTE_METHODS
+        ):
+            receiver = node.func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and self.taint.get(receiver.id, ("", 0))[0] == "conn"
+            ):
+                self.conn_execs.append((node.func.attr, line))
+            if node.args and isinstance(node.args[0], ast.Constant) and (
+                isinstance(node.args[0].value, str)
+            ):
+                verb = node.args[0].value.strip().split(None, 1)
+                if verb and verb[0].upper() in _SQL_WRITE_VERBS:
+                    self.sql_writes.append((verb[0].upper(), line))
+
+        # journal mutation sinks ---------------------------------------- #
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr in ("_entries", "entries")
+        ):
+            self.journal_mutations.append(
+                (f".{node.func.value.attr}.{node.func.attr}()", line)
+            )
+
+        # entropy sources ------------------------------------------------ #
+        if is_rng_factory(callee):
+            self.entropy_lines.append(line)
+
+        # seed/rng flows across the call boundary ------------------------ #
+        rng_args: List[Tuple[str, int]] = []
+        unordered_args: List[Tuple[Optional[int], Optional[str], str]] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            self._record_seed_arg(arg, callee, resolved, line, position, None)
+            self._classify_arg(
+                arg, position, None, rng_args, unordered_args, line
+            )
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            self._record_seed_arg(
+                kw.value, callee, resolved, line, None, kw.arg
+            )
+            self._classify_arg(
+                kw.value, None, kw.arg, rng_args, unordered_args, line
+            )
+        if is_rng_factory(callee):
+            # A seed passed straight into a factory is consumed here.
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in self.seed_state:
+                    self.seed_state[arg.id]["consumed"] = True
+
+        self.calls.append(
+            CallFact(
+                callee=callee,
+                resolved=resolved,
+                line=line,
+                in_loop=in_loop,
+                rng_args=tuple(rng_args),
+                unordered_args=tuple(unordered_args),
+            )
+        )
+
+    def _classify_arg(
+        self,
+        arg: ast.expr,
+        position: Optional[int],
+        keyword: Optional[str],
+        rng_args: List[Tuple[str, int]],
+        unordered_args: List[Tuple[Optional[int], Optional[str], str]],
+        line: int,
+    ) -> None:
+        if isinstance(arg, ast.Name):
+            tainted = self.taint.get(arg.id)
+            if tainted is not None and tainted[0] == "rng":
+                rng_args.append((arg.id, tainted[1] or line))
+        desc = self._unordered_desc(arg)
+        if desc is not None:
+            unordered_args.append((position, keyword, desc))
+
+    def _record_seed_arg(
+        self,
+        arg: ast.expr,
+        callee: str,
+        resolved: bool,
+        line: int,
+        position: Optional[int],
+        keyword: Optional[str],
+    ) -> None:
+        if not isinstance(arg, ast.Name) or arg.id not in self.seed_state:
+            return
+        state = self.seed_state[arg.id]
+        state["referenced"] = True
+        state["passes"].append(
+            SeedPass(
+                callee=callee,
+                resolved=resolved,
+                line=line,
+                position=position,
+                keyword=keyword,
+            )
+        )
+
+    def _name_is_call_arg(self, name: ast.Name) -> bool:
+        parent = self.ctx.parent(name)
+        if isinstance(parent, ast.Call) and name in parent.args:
+            return True
+        if isinstance(parent, ast.keyword):
+            grand = self.ctx.parent(parent)
+            return isinstance(grand, ast.Call)
+        # `self.seed = seed` / `rng.x` handled explicitly above; loads in
+        # attribute position belong to their Attribute parent.
+        if isinstance(parent, ast.Attribute):
+            return True
+        return False
+
+    # -- mutations & accumulation ----------------------------------------- #
+
+    def _record_mutation_target(self, target: ast.expr, what: str) -> None:
+        node = target
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self._record_mutation_target(elt, what)
+            return
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            what = f"item {what}"
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "_entries",
+            "entries",
+        ):
+            self.journal_mutations.append(
+                (f"{what} to .{node.attr}", node.lineno)
+            )
+
+    def _record_accumulation(self, node: ast.stmt) -> None:
+        """``for x in <param>: acc += ...`` with a float accumulator.
+
+        Integer accumulation is order-insensitive; the heuristic requires
+        the accumulator to be initialised from a float constant somewhere
+        in the walked body, which is the canonical ``total = 0.0`` shape.
+        """
+        assert isinstance(node, (ast.For, ast.AsyncFor))
+        iterand = node.iter
+        if not isinstance(iterand, ast.Name):
+            return
+        if iterand.id not in self.params:
+            return
+        position = self.params.index(iterand.id)
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.AugAssign)
+                and isinstance(child.op, (ast.Add, ast.Sub))
+                and isinstance(child.target, ast.Name)
+                and child.target.id in self._float_inits
+            ):
+                self.accum_params.append(
+                    (iterand.id, position, child.lineno)
+                )
+                return
+
+    def prime_float_inits(self, body: Sequence[ast.stmt]) -> None:
+        """Names assigned a float constant anywhere in the body."""
+        inits: Set[str] = set()
+        for stmt in body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Assign) and isinstance(
+                    child.value, ast.Constant
+                ) and isinstance(child.value.value, float):
+                    inits.update(
+                        t.id
+                        for t in child.targets
+                        if isinstance(t, ast.Name)
+                    )
+        self._float_inits = inits
+
+    # -- final ----------------------------------------------------------- #
+
+    def seed_flows(self) -> Tuple[SeedFlow, ...]:
+        flows = []
+        for param in self.params:
+            state = self.seed_state.get(param)
+            if state is None:
+                continue
+            flows.append(
+                SeedFlow(
+                    param=param,
+                    kind=str(state["kind"]),
+                    referenced=bool(state["referenced"]),
+                    escapes=bool(state["escapes"]),
+                    consumed=bool(state["consumed"]),
+                    passes=tuple(state["passes"]),
+                )
+            )
+        return tuple(flows)
+
+
+def _local_definitions(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Top-level def/class names -> their project qualnames."""
+    defs: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs[node.name] = f"{module}.{node.name}"
+        elif isinstance(node, ast.ClassDef):
+            defs[node.name] = f"{module}.{node.name}"
+    return defs
+
+
+def extract_function_summaries(ctx: Any) -> Tuple[FunctionSummary, ...]:
+    """Distil one parsed module into its function summaries.
+
+    ``ctx`` is a :class:`~repro.analysis.context.ModuleContext`.  One
+    pseudo-summary named ``<module>`` carries facts for statements at
+    module scope (imports execute there; so do sqlite calls in scripts).
+    """
+    local_defs = _local_definitions(ctx.tree, ctx.module)
+    summaries: List[FunctionSummary] = []
+
+    def extract_one(
+        fn: ast.AST,
+        cls_name: Optional[str],
+    ) -> FunctionSummary:
+        name = fn.name  # type: ignore[attr-defined]
+        params = _arg_names(fn)
+        extractor = _Extractor(ctx, local_defs, params)
+        body = fn.body  # type: ignore[attr-defined]
+        extractor.prime_float_inits(body)
+        extractor.walk(body)
+        qual = (
+            f"{ctx.module}.{cls_name}.{name}"
+            if cls_name
+            else f"{ctx.module}.{name}"
+        )
+        return FunctionSummary(
+            qualname=qual,
+            module=ctx.module,
+            name=name,
+            cls=cls_name,
+            line=int(getattr(fn, "lineno", 1)),
+            is_public=not name.startswith("_") or name == "__init__",
+            params=tuple(params),
+            calls=tuple(extractor.calls),
+            seed_flows=extractor.seed_flows(),
+            entropy_lines=tuple(extractor.entropy_lines),
+            accum_params=tuple(extractor.accum_params),
+            sqlite_calls=tuple(extractor.sqlite_calls),
+            conn_execs=tuple(extractor.conn_execs),
+            sql_writes=tuple(extractor.sql_writes),
+            journal_mutations=tuple(extractor.journal_mutations),
+        )
+
+    # Module-scope pseudo-function.
+    top = _Extractor(ctx, local_defs, params=())
+    top.prime_float_inits(ctx.tree.body)
+    top.walk(ctx.tree.body)
+    summaries.append(
+        FunctionSummary(
+            qualname=ctx.module,
+            module=ctx.module,
+            name="<module>",
+            cls=None,
+            line=1,
+            is_public=False,
+            calls=tuple(top.calls),
+            entropy_lines=tuple(top.entropy_lines),
+            sqlite_calls=tuple(top.sqlite_calls),
+            conn_execs=tuple(top.conn_execs),
+            sql_writes=tuple(top.sql_writes),
+            journal_mutations=tuple(top.journal_mutations),
+        )
+    )
+
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summaries.append(extract_one(node, None))
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    summaries.append(extract_one(member, node.name))
+    return tuple(summaries)
+
+
+# --------------------------------------------------------------------- #
+# Interprocedural analysis
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TaintHop:
+    """One hop of a cross-module taint path (for finding traces)."""
+
+    path: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.note}"
+
+
+@dataclass
+class TaintAnalysis:
+    """Forward seed/RNG taint over the project call graph.
+
+    Sources are seed/rng parameters and RNG-factory calls; sinks are
+    call boundaries.  The analysis answers two questions the
+    interprocedural rules need: *does entropy ever flow out of this
+    function* (the transitive ``entropy_consumers`` closure, monotone
+    under edge addition) and *where does a given seed parameter go and
+    die* (:meth:`trace_seed`).
+    """
+
+    project: Any  # ProjectContext; typed loosely to avoid a cycle
+    _entropy: Optional[Set[str]] = field(default=None, repr=False)
+
+    def entropy_consumers(self) -> Set[str]:
+        """Qualnames that (transitively) construct a random stream."""
+        if self._entropy is not None:
+            return self._entropy
+        graph = self.project.call_graph()
+        direct = {
+            fn.qualname
+            for fn in self.project.functions.values()
+            if fn.consumes_entropy
+        }
+        self._entropy = graph.reachable_to(direct)
+        return self._entropy
+
+    # -- seed flow -------------------------------------------------------- #
+
+    def trace_seed(
+        self, fn: FunctionSummary, flow: SeedFlow
+    ) -> Optional[List[TaintHop]]:
+        """The taint path proving a seed parameter is dropped, or None.
+
+        Returns the hop chain when the seed provably never reaches an
+        entropy consumer on any resolved path; returns ``None`` when any
+        hop escapes the analysis (assumed consumed) or reaches entropy.
+        """
+        if flow.consumed or flow.escapes:
+            return None
+        start_path = self.project.path_of(fn.module)
+        if not flow.referenced:
+            return [
+                TaintHop(
+                    path=start_path,
+                    line=fn.line,
+                    note=(
+                        f"{flow.kind} parameter {flow.param!r} accepted by "
+                        f"{fn.name}() and never read"
+                    ),
+                )
+            ]
+        hops = [
+            TaintHop(
+                path=start_path,
+                line=fn.line,
+                note=(
+                    f"{flow.kind} parameter {flow.param!r} accepted by "
+                    f"{fn.name}()"
+                ),
+            )
+        ]
+        visited: Set[Tuple[str, str]] = {(fn.qualname, flow.param)}
+        if not self._follow(fn, flow, hops, visited):
+            return None
+        hops.append(
+            TaintHop(
+                path=start_path,
+                line=fn.line,
+                note="no resolved path reaches an entropy consumer",
+            )
+        )
+        return hops
+
+    def _follow(
+        self,
+        fn: FunctionSummary,
+        flow: SeedFlow,
+        hops: List[TaintHop],
+        visited: Set[Tuple[str, str]],
+    ) -> bool:
+        """Extend ``hops`` along every pass; False means assume-consumed.
+
+        Returns True only when *every* resolved hop chain terminates
+        without reaching an entropy consumer — i.e. the drop is proven on
+        all paths the analysis can see.
+        """
+        entropy = self.entropy_consumers()
+        path = self.project.path_of(fn.module)
+        for hop in flow.passes:
+            target = self.project.resolve_callable(fn.module, hop.callee)
+            if target is None:
+                return False  # escapes into code we cannot see
+            if target.qualname in entropy:
+                return False  # reaches an entropy consumer: threaded
+            param = _param_at(target, hop.position, hop.keyword)
+            if param is None:
+                return False  # *args/**kwargs or mismatch: assume consumed
+            sub_flow = _flow_for(target, param)
+            if sub_flow is None:
+                # The callee binds it under a non-seed name; out of the
+                # lattice, assume consumed.
+                return False
+            key = (target.qualname, param)
+            if key in visited:
+                continue
+            visited.add(key)
+            hops.append(
+                TaintHop(
+                    path=path,
+                    line=hop.line,
+                    note=f"passed to {target.name}() as {param!r}",
+                )
+            )
+            if sub_flow.consumed or sub_flow.escapes:
+                return False
+            if not self._follow(target, sub_flow, hops, visited):
+                return False
+        return True
+
+    # -- artifacts -------------------------------------------------------- #
+
+    def taint_edges_jsonable(self) -> List[Dict[str, Any]]:
+        """Every seed/rng value crossing a call boundary, as JSON rows."""
+        rows: List[Dict[str, Any]] = []
+        for qual in sorted(self.project.functions):
+            fn = self.project.functions[qual]
+            for flow in fn.seed_flows:
+                for hop in flow.passes:
+                    target = self.project.resolve_callable(
+                        fn.module, hop.callee
+                    )
+                    rows.append(
+                        {
+                            "from": fn.qualname,
+                            "param": flow.param,
+                            "kind": flow.kind,
+                            "to": (
+                                target.qualname if target else hop.callee
+                            ),
+                            "resolved": target is not None,
+                            "line": hop.line,
+                            "file": self.project.path_of(fn.module),
+                        }
+                    )
+            for call in fn.calls:
+                for var, _origin in call.rng_args:
+                    rows.append(
+                        {
+                            "from": fn.qualname,
+                            "param": var,
+                            "kind": "rng",
+                            "to": call.callee,
+                            "resolved": call.resolved,
+                            "line": call.line,
+                            "file": self.project.path_of(fn.module),
+                        }
+                    )
+        return rows
+
+
+def _param_at(
+    fn: FunctionSummary, position: Optional[int], keyword: Optional[str]
+) -> Optional[str]:
+    """The callee parameter a call argument binds to, if determinable."""
+    if keyword is not None:
+        return keyword if keyword in fn.params else None
+    if position is not None and 0 <= position < len(fn.params):
+        return fn.params[position]
+    return None
+
+
+def _flow_for(fn: FunctionSummary, param: str) -> Optional[SeedFlow]:
+    for flow in fn.seed_flows:
+        if flow.param == param:
+            return flow
+    return None

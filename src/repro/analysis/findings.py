@@ -31,6 +31,11 @@ class Finding:
 
     Sort order is (file, line, col, rule_id) so reports read top to
     bottom per file regardless of rule execution order.
+
+    ``trace`` is the cross-module taint path for interprocedural
+    findings (DET004–DET006): ``file:line: note`` hops from the taint
+    source to the point the contract breaks.  Module-scoped findings
+    leave it empty.
     """
 
     file: str
@@ -39,12 +44,15 @@ class Finding:
     rule_id: str
     severity: Severity
     message: str
+    trace: Tuple[str, ...] = ()
 
     def fingerprint(self) -> Tuple[str, str, str]:
         """Location-insensitive identity used for baseline matching.
 
         Line numbers churn on every unrelated edit, so the baseline keys
         on (file, rule, message) instead — a finding moves with its code.
+        The trace is presentation, not identity: the same drop rendered
+        through a longer chain is still the same finding.
         """
         return (self.file, self.rule_id, self.message)
 
@@ -56,10 +64,15 @@ class Finding:
             "rule": self.rule_id,
             "severity": self.severity.value,
             "message": self.message,
+            "trace": list(self.trace),
         }
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.file}:{self.line}:{self.col}: "
             f"{self.rule_id} {self.severity}: {self.message}"
         )
+        if not self.trace:
+            return head
+        hops = "\n".join(f"    trace: {hop}" for hop in self.trace)
+        return f"{head}\n{hops}"

@@ -1,0 +1,355 @@
+"""Whole-program analysis context: module summaries, symbols, caching.
+
+:class:`ProjectContext` is the layer between the per-module AST contexts
+and the interprocedural rules.  It holds one :class:`ModuleSummary` per
+file — the module's dotted name, import map, suppression comments, and
+the distilled :class:`~repro.analysis.dataflow.FunctionSummary` facts —
+and resolves names *across* modules: a call recorded as
+``repro.utils.make_rng`` in one summary chases the ``repro.utils``
+re-export chain to the defining ``repro.utils.rng.make_rng``.
+
+Summaries are pure functions of module source bytes, which makes the
+:class:`SummaryCache` sound: entries key on the sha256 of the file
+content (mirroring the kernels-cache content-key pattern from
+``repro.kernels.cache``), so an incremental ``repro lint`` re-parses
+only the modules whose bytes changed and re-runs only the whole-program
+join — the part that is cheap.  A cache written by a different rule-set
+signature is ignored wholesale rather than migrated: correctness of the
+cache is structural (content addressed), never negotiated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.dataflow import (
+    FunctionSummary,
+    TaintAnalysis,
+    extract_function_summaries,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ModuleSummary",
+    "ProjectContext",
+    "SummaryCache",
+    "source_sha256",
+]
+
+CACHE_FORMAT_VERSION = 1
+
+#: How many re-export links to chase when resolving a dotted name; deep
+#: chains beyond this are treated as unresolved (assume-consumed).
+_RESOLVE_DEPTH = 8
+
+
+def source_sha256(source: str) -> str:
+    """Content address of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything the whole-program phase needs from one module.
+
+    Derivable from source alone (no filesystem, no sibling modules), so
+    it is exactly the unit the content-hash cache stores.
+    """
+
+    path: str
+    module: str
+    sha256: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Tuple[FunctionSummary, ...] = ()
+    suppress_lines: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    suppress_file: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_context(cls, ctx: ModuleContext) -> "ModuleSummary":
+        sup = parse_suppressions(ctx.source)
+        return cls(
+            path=ctx.path,
+            module=ctx.module,
+            sha256=source_sha256(ctx.source),
+            imports=dict(ctx.imports),
+            functions=extract_function_summaries(ctx),
+            suppress_lines={
+                line: tuple(sorted(ids))
+                for line, ids in sorted(sup.by_line.items())
+            },
+            suppress_file=tuple(sorted(sup.whole_file)),
+        )
+
+    def suppressions(self) -> Suppressions:
+        return Suppressions(
+            by_line={
+                line: frozenset(ids)
+                for line, ids in self.suppress_lines.items()
+            },
+            whole_file=frozenset(self.suppress_file),
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "sha256": self.sha256,
+            "imports": dict(sorted(self.imports.items())),
+            "functions": [f.to_jsonable() for f in self.functions],
+            "suppress_lines": {
+                str(line): list(ids)
+                for line, ids in sorted(self.suppress_lines.items())
+            },
+            "suppress_file": list(self.suppress_file),
+        }
+
+    @classmethod
+    def from_jsonable(cls, raw: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            path=str(raw["path"]),
+            module=str(raw["module"]),
+            sha256=str(raw["sha256"]),
+            imports={str(k): str(v) for k, v in raw["imports"].items()},
+            functions=tuple(
+                FunctionSummary.from_jsonable(f) for f in raw["functions"]
+            ),
+            suppress_lines={
+                int(line): tuple(str(i) for i in ids)
+                for line, ids in raw["suppress_lines"].items()
+            },
+            suppress_file=tuple(str(i) for i in raw["suppress_file"]),
+        )
+
+
+class ProjectContext:
+    """All module summaries of one lint run, plus cross-module resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        self._graph: Optional[Any] = None
+        self._taint: Optional[TaintAnalysis] = None
+
+    # -- construction ----------------------------------------------------- #
+
+    def add(self, summary: ModuleSummary) -> None:
+        self.modules[summary.module] = summary
+        for fn in summary.functions:
+            self.functions[fn.qualname] = fn
+        self._graph = None
+        self._taint = None
+
+    @classmethod
+    def from_sources(
+        cls, entries: Sequence[Tuple[str, str, Optional[str]]]
+    ) -> "ProjectContext":
+        """Build a project from in-memory ``(source, path, module)`` rows.
+
+        The test-suite entry point: fixture mini-packages impersonate any
+        part of the tree via explicit module names.  Raises
+        ``SyntaxError`` for unparseable sources (the runner shields this
+        behind its SYNTAX finding).
+        """
+        project = cls()
+        for source, path, module in entries:
+            ctx = ModuleContext.from_source(source, path=path, module=module)
+            project.add(ModuleSummary.from_context(ctx))
+        return project
+
+    # -- resolution ------------------------------------------------------- #
+
+    def path_of(self, module: str) -> str:
+        summary = self.modules.get(module)
+        return summary.path if summary is not None else "<unknown>"
+
+    def resolve_callable(
+        self, caller_module: str, callee: str
+    ) -> Optional[FunctionSummary]:
+        """Project function a recorded callee name refers to, or None.
+
+        Handles the three shapes extraction produces: fully qualified
+        dotted names (chased through re-export chains), ``self.<attr>``
+        method calls (bound within the caller's own classes), and names
+        already resolved to local definitions.  Class names resolve to
+        their ``__init__`` so constructor calls join the seed-flow graph
+        with the right parameter list.
+        """
+        if callee.startswith("self."):
+            attr = callee.split(".", 1)[1]
+            if "." in attr:
+                return None  # self.x.y(...): receiver type unknown
+            caller_summary = self.modules.get(caller_module)
+            if caller_summary is None:
+                return None
+            candidates = [
+                fn
+                for fn in caller_summary.functions
+                if fn.cls is not None and fn.name == attr
+            ]
+            # Unambiguous only when one class in the module defines it.
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        return self._resolve_dotted(callee, depth=0)
+
+    def _resolve_dotted(
+        self, name: str, depth: int
+    ) -> Optional[FunctionSummary]:
+        if depth > _RESOLVE_DEPTH:
+            return None
+        direct = self.functions.get(name)
+        if direct is not None and direct.name != "<module>":
+            return direct
+        ctor = self.functions.get(f"{name}.__init__")
+        if ctor is not None:
+            return ctor
+        if "." not in name:
+            return None
+        prefix, leaf = name.rsplit(".", 1)
+        summary = self.modules.get(prefix)
+        if summary is not None:
+            origin = summary.imports.get(leaf)
+            if origin is not None and origin != name:
+                return self._resolve_dotted(origin, depth + 1)
+        return None
+
+    # -- derived analyses ------------------------------------------------- #
+
+    def call_graph(self) -> Any:
+        """The project call graph (cached per context)."""
+        if self._graph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._graph = CallGraph.from_project(self)
+        return self._graph
+
+    def taint(self) -> TaintAnalysis:
+        """The interprocedural taint analysis (cached per context)."""
+        if self._taint is None:
+            self._taint = TaintAnalysis(project=self)
+        return self._taint
+
+    # -- suppression service for project rules ----------------------------- #
+
+    def split_suppressed(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """(kept, suppressed) using each finding's own module's comments."""
+        by_path: Dict[str, Suppressions] = {
+            s.path: s.suppressions() for s in self.modules.values()
+        }
+        kept: List[Finding] = []
+        hidden: List[Finding] = []
+        for finding in findings:
+            sup = by_path.get(finding.file)
+            if sup is not None and sup.allows(finding.rule_id, finding.line):
+                hidden.append(finding)
+            else:
+                kept.append(finding)
+        return kept, hidden
+
+
+# --------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------- #
+
+
+class SummaryCache:
+    """Content-hash cache of module summaries and module-rule findings.
+
+    One JSON document maps file path -> {sha256, summary, kept,
+    suppressed}.  An entry is valid iff the stored sha matches the bytes
+    on disk *and* the cache was written under the same rule-set
+    signature; anything else is a miss.  Corrupt or alien cache files
+    are discarded silently — the cache is an accelerator, never an
+    authority.
+    """
+
+    def __init__(self, path: Optional[str], signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if path is not None and os.path.isfile(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    raw = json.load(fh)
+                if (
+                    isinstance(raw, dict)
+                    and raw.get("format_version") == CACHE_FORMAT_VERSION
+                    and raw.get("signature") == signature
+                    and isinstance(raw.get("modules"), dict)
+                ):
+                    self._entries = raw["modules"]
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(
+        self, path: str, sha: str
+    ) -> Optional[Tuple[ModuleSummary, List[Finding], List[Finding]]]:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha256") != sha:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_jsonable(entry["summary"])
+            kept = [_finding_from_jsonable(f) for f in entry["kept"]]
+            hidden = [_finding_from_jsonable(f) for f in entry["suppressed"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary, kept, hidden
+
+    def put(
+        self,
+        path: str,
+        sha: str,
+        summary: ModuleSummary,
+        kept: Sequence[Finding],
+        suppressed: Sequence[Finding],
+    ) -> None:
+        self._entries[path] = {
+            "sha256": sha,
+            "summary": summary.to_jsonable(),
+            "kept": [f.to_jsonable() for f in kept],
+            "suppressed": [f.to_jsonable() for f in suppressed],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "signature": self.signature,
+            "modules": {
+                k: self._entries[k] for k in sorted(self._entries)
+            },
+        }
+        tmp = f"{self.path}.tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+
+def _finding_from_jsonable(raw: Dict[str, Any]) -> Finding:
+    return Finding(
+        file=str(raw["file"]),
+        line=int(raw["line"]),
+        col=int(raw["col"]),
+        rule_id=str(raw["rule"]),
+        severity=Severity(str(raw["severity"])),
+        message=str(raw["message"]),
+        trace=tuple(str(t) for t in raw.get("trace", [])),
+    )

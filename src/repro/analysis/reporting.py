@@ -10,7 +10,6 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Sequence
 
-from repro.analysis.rulebase import Rule
 from repro.analysis.runner import LintReport
 
 __all__ = ["LINT_JSON_VERSION", "render_text", "render_json", "to_jsonable"]
@@ -23,13 +22,14 @@ def _summary(report: LintReport) -> Dict[str, Any]:
         "findings": len(report.findings),
         "suppressed": len(report.suppressed),
         "baselined": len(report.baselined),
+        "stale_baseline": len(report.stale_baseline),
         "files_scanned": report.files_scanned,
         "per_rule": report.per_rule_counts(include_hidden=True),
     }
 
 
 def render_text(
-    report: LintReport, rules: Optional[Sequence[Rule]] = None
+    report: LintReport, rules: Optional[Sequence[Any]] = None
 ) -> str:
     """One line per finding plus a summary tail."""
     lines = [finding.render() for finding in report.findings]
@@ -40,6 +40,12 @@ def render_text(
         f"({summary['suppressed']} suppressed, "
         f"{summary['baselined']} baselined)"
     )
+    if report.stale_baseline:
+        lines.append(
+            f"stale baseline entries: {len(report.stale_baseline)} "
+            "(matched no current finding; regenerate with "
+            "--write-baseline to prune)"
+        )
     if report.findings:
         per_rule = report.per_rule_counts(include_hidden=False)
         breakdown = ", ".join(
@@ -52,7 +58,7 @@ def render_text(
 
 
 def to_jsonable(
-    report: LintReport, rules: Optional[Sequence[Rule]] = None
+    report: LintReport, rules: Optional[Sequence[Any]] = None
 ) -> Dict[str, Any]:
     """The machine-readable report document."""
     doc: Dict[str, Any] = {
@@ -62,6 +68,10 @@ def to_jsonable(
         "findings": [f.to_jsonable() for f in report.findings],
         "suppressed": [f.to_jsonable() for f in report.suppressed],
         "baselined": [f.to_jsonable() for f in report.baselined],
+        "stale_baseline": [
+            {"file": f, "rule": r, "message": m}
+            for f, r, m in report.stale_baseline
+        ],
     }
     if rules is not None:
         doc["rules"] = [
@@ -76,6 +86,6 @@ def to_jsonable(
 
 
 def render_json(
-    report: LintReport, rules: Optional[Sequence[Rule]] = None
+    report: LintReport, rules: Optional[Sequence[Any]] = None
 ) -> str:
     return json.dumps(to_jsonable(report, rules), indent=2, sort_keys=True)

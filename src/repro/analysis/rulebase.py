@@ -6,6 +6,16 @@ yields :class:`~repro.analysis.findings.Finding` objects.  Rules register
 themselves via the :func:`register` decorator at import time; the runner
 imports the rule modules once and asks the registry for the active set.
 
+Two rule shapes share the registry.  *Module* rules implement
+``check(ctx)`` and see one file at a time; *project* rules implement
+``check_project(project)`` and see the joined
+:class:`~repro.analysis.project.ProjectContext` — the call graph, the
+taint analysis, every module's summary.  The runner phases them: module
+rules run (and cache) per file, project rules run once over the whole
+set.  :func:`ruleset_signature` folds both populations plus
+:data:`RULESET_VERSION` into the string the summary cache keys on, so a
+cache written under a different rule set is never trusted.
+
 Keeping the framework pluggable (rather than one monolithic visitor) is
 deliberate: each contract this repo enforces — seeded randomness, ordered
 iteration, observability purity — evolves independently, and a new
@@ -15,13 +25,30 @@ contract should cost one new module, not a rewrite.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Protocol, Type
+from typing import Any, Dict, Iterator, List, Optional, Protocol, Type
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding, Severity
 from repro.errors import ReproError
 
-__all__ = ["AnalysisError", "Rule", "register", "all_rules", "get_rule"]
+__all__ = [
+    "AnalysisError",
+    "ProjectRule",
+    "RULESET_VERSION",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "is_project_rule",
+    "register",
+    "ruleset_signature",
+]
+
+#: Bump on any change to rule semantics or summary extraction.  Folded
+#: into :func:`ruleset_signature`, so a bump invalidates every summary
+#: cache and forces a cold re-parse; it is also recorded in run
+#: provenance (EXPERIMENTS.md) so a figure can be tied to the exact rule
+#: set that vetted the code which produced it.
+RULESET_VERSION = 2
 
 
 class AnalysisError(ReproError):
@@ -29,7 +56,7 @@ class AnalysisError(ReproError):
 
 
 class Rule(Protocol):
-    """One checkable contract."""
+    """One checkable contract, scoped to a single module."""
 
     rule_id: str
     description: str
@@ -40,10 +67,32 @@ class Rule(Protocol):
         ...
 
 
-_REGISTRY: Dict[str, Rule] = {}
+class ProjectRule(Protocol):
+    """One checkable contract over the whole program.
+
+    ``project`` is a :class:`~repro.analysis.project.ProjectContext`;
+    typed as ``object`` here to keep rulebase free of an import cycle
+    (project → dataflow → … → rulebase for registration).
+    """
+
+    rule_id: str
+    description: str
+    severity: Severity
+
+    def check_project(self, project: object) -> Iterator[Finding]:
+        """Yield findings for the joined project context."""
+        ...
 
 
-def register(cls: Type["Rule"]) -> Type["Rule"]:
+def is_project_rule(rule: object) -> bool:
+    """Whether a registered rule wants the whole-program context."""
+    return hasattr(rule, "check_project")
+
+
+_REGISTRY: Dict[str, Any] = {}
+
+
+def register(cls: Type[Any]) -> Type[Any]:
     """Class decorator: instantiate and register a rule by its id."""
     rule = cls()
     if rule.rule_id in _REGISTRY:
@@ -57,9 +106,10 @@ def _ensure_loaded() -> None:
     # here (not module top level) to avoid a cycle with context/findings.
     from repro.analysis import rules_contracts  # noqa: F401
     from repro.analysis import rules_determinism  # noqa: F401
+    from repro.analysis import rules_project  # noqa: F401
 
 
-def all_rules(only: Optional[List[str]] = None) -> List[Rule]:
+def all_rules(only: Optional[List[str]] = None) -> List[Any]:
     """All registered rules (sorted by id), optionally restricted.
 
     Unknown ids in ``only`` raise — a typo in ``--rules`` must not
@@ -76,7 +126,7 @@ def all_rules(only: Optional[List[str]] = None) -> List[Rule]:
     return [_REGISTRY[k] for k in sorted(set(only))]
 
 
-def get_rule(rule_id: str) -> Rule:
+def get_rule(rule_id: str) -> Any:
     _ensure_loaded()
     try:
         return _REGISTRY[rule_id]
@@ -84,6 +134,18 @@ def get_rule(rule_id: str) -> Rule:
         raise AnalysisError(
             f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}"
         ) from None
+
+
+def ruleset_signature(rules: List[Any]) -> str:
+    """Cache key component identifying the active rule population.
+
+    ``v<RULESET_VERSION>:<id>,<id>,...`` — any rule added, removed or
+    deselected (and any version bump) yields a different signature, and
+    the summary cache discards itself rather than serve findings
+    computed under different semantics.
+    """
+    ids = ",".join(sorted(r.rule_id for r in rules))
+    return f"v{RULESET_VERSION}:{ids}"
 
 
 def make_finding(

@@ -1,5 +1,5 @@
-"""Contract rules: OBS001 (observability purity), ERR001 (exception
-swallowing), API001 (explicit seed threading).
+"""Contract rules: OBS001 (observability purity), ERR001/ERR002
+(exception swallowing), API001 (explicit seed threading).
 
 Where the determinism rules guard *values*, these guard *structure*: the
 layering that keeps observability inert, the exception discipline that
@@ -19,6 +19,7 @@ from repro.analysis.rulebase import make_finding, register
 __all__ = [
     "ObservabilityPurityRule",
     "ExceptionSwallowRule",
+    "TypedErrorSwallowRule",
     "SeedThreadingRule",
 ]
 
@@ -183,6 +184,105 @@ class ExceptionSwallowRule:
                     "swallow ConvergenceError; catch a specific "
                     "ReproError subclass or re-raise",
                 )
+
+
+@register
+class TypedErrorSwallowRule:
+    """ERR002: a typed repro error caught and then dropped on the floor.
+
+    ERR001 polices *breadth*; this polices *disposal*.  Catching
+    ``StoreSchemaError`` by name looks disciplined, but if the handler
+    neither re-raises nor so much as reads the bound exception, the
+    typed hierarchy has been converted back into silence — a corrupt
+    store or a failed convergence proceeds as if nothing happened.  A
+    handler is fine the moment it raises (anything) or references the
+    exception it bound (logging it, returning it, recording a finding).
+    """
+
+    rule_id = "ERR002"
+    description = (
+        "typed repro error caught but neither re-raised nor referenced"
+    )
+    severity = Severity.ERROR
+
+    #: The library's typed error names (repro.errors hierarchy).  Matched
+    #: by final name so both ``StoreError`` and ``errors.StoreError`` hit.
+    typed_errors = frozenset(
+        {
+            "ReproError",
+            "GraphError",
+            "GraphFormatError",
+            "PartitionError",
+            "ClusterError",
+            "ProfilingError",
+            "EngineError",
+            "ConvergenceError",
+            "FaultError",
+            "RecoveryError",
+            "ServiceError",
+            "WorkloadFormatError",
+            "FederationError",
+            "StoreError",
+            "StoreCorruptError",
+            "StoreSchemaError",
+            "StoreLockedError",
+            "DeadlineExceeded",
+            "AnalysisError",
+        }
+    )
+
+    def _caught_typed(self, node: ast.expr) -> List[str]:
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for expr in exprs:
+            leaf: str = ""
+            if isinstance(expr, ast.Name):
+                leaf = expr.id
+            elif isinstance(expr, ast.Attribute):
+                leaf = expr.attr
+            if leaf in self.typed_errors:
+                names.append(leaf)
+        return names
+
+    @staticmethod
+    def _raises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(inner, ast.Raise)
+            for stmt in handler.body
+            for inner in ast.walk(stmt)
+        )
+
+    @staticmethod
+    def _references(handler: ast.ExceptHandler) -> bool:
+        if handler.name is None:
+            return False
+        return any(
+            isinstance(inner, ast.Name) and inner.id == handler.name
+            for stmt in handler.body
+            for inner in ast.walk(stmt)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ctx.iter_nodes():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                continue  # bare except is ERR001's to flag
+            caught = self._caught_typed(node.type)
+            if not caught:
+                continue
+            if self._raises(node) or self._references(node):
+                continue
+            yield make_finding(
+                self,
+                ctx,
+                node,
+                f"`except {', '.join(caught)}` swallows the typed error "
+                "without re-raising or even reading it; re-raise, or "
+                "bind it (`as exc`) and record why proceeding is safe",
+            )
 
 
 #: Callables whose presence in a body marks the function as randomized.

@@ -1,0 +1,376 @@
+"""Whole-program rules: interprocedural determinism (DET004–DET006) and
+subsystem contracts (STORE001–STORE002, FED001).
+
+These rules consume the :class:`~repro.analysis.project.ProjectContext`
+— module summaries joined over the call graph and the seed/RNG taint
+analysis — rather than a single module's AST.  Each is the static form
+of an invariant another part of the repo proves dynamically:
+
+* DET004 — one ``Generator`` threaded into two shard/machine scopes
+  aliases the stream; the golden federation traces would fork the first
+  time either shard's draw count changes.
+* DET005 — a ``seed`` accepted at an API boundary but never reaching an
+  entropy consumer means the parameter is replay theater: two runs with
+  different seeds produce identical (and identically misleading) bytes.
+* DET006 — float accumulation is not associative; an unordered
+  container crossing a call boundary into a ``+=`` loop reorders the
+  sum under any refactor that changes insertion sites.
+* STORE001/STORE002 — the summary store's durability contract (typed
+  errors, ``BEGIN IMMEDIATE`` write scope, quarantine discipline) only
+  holds if every byte goes through ``repro.store``'s helpers.
+* FED001 — custody journals are append-only; exactly-once completion
+  and deterministic recovery are derived from that prefix property.
+
+Judgements are conservative: an unresolved callee or an escaped value is
+assumed consumed, so every finding is a structural fact with a
+renderable ``file:line`` taint chain, not a guess.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.dataflow import (
+    FunctionSummary,
+    is_scope_constructor,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ProjectContext
+from repro.analysis.rulebase import register
+
+__all__ = [
+    "CrossShardRngAliasRule",
+    "DroppedSeedRule",
+    "UnorderedAccumulationRule",
+    "RawSqliteRule",
+    "StoreWriteScopeRule",
+    "JournalAppendOnlyRule",
+]
+
+
+def _finding(
+    rule: object,
+    path: str,
+    line: int,
+    message: str,
+    trace: Tuple[str, ...] = (),
+) -> Finding:
+    return Finding(
+        file=path,
+        line=line,
+        col=0,
+        rule_id=rule.rule_id,  # type: ignore[attr-defined]
+        severity=rule.severity,  # type: ignore[attr-defined]
+        message=message,
+        trace=trace,
+    )
+
+
+def _in_package(module: str, *prefixes: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in prefixes
+    )
+
+
+@register
+class CrossShardRngAliasRule:
+    """DET004: one RNG object threaded into two sibling shard scopes.
+
+    A seeded ``Generator`` is a *stream*: two scopes that share it
+    interleave draws, so each shard's results depend on the other's
+    schedule.  The repo's own idiom is ``spawn_rngs(seed, n)`` — one
+    child stream per scope.  Fires when the same RNG-tainted variable is
+    passed to two distinct shard/machine/worker constructor calls, or to
+    one such call inside a loop (the loop body runs once per scope).
+    """
+
+    rule_id = "DET004"
+    description = (
+        "RNG object passed to two sibling shard/machine scopes "
+        "(cross-shard stream aliasing)"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for fn in summary.functions:
+                yield from self._check_function(summary.path, fn)
+
+    def _check_function(
+        self, path: str, fn: FunctionSummary
+    ) -> Iterator[Finding]:
+        sites: Dict[str, List[Tuple[str, int, bool, int]]] = {}
+        for call in fn.calls:
+            if not is_scope_constructor(call.callee):
+                continue
+            for var, origin in call.rng_args:
+                sites.setdefault(var, []).append(
+                    (call.callee, call.line, call.in_loop, origin)
+                )
+        for var in sorted(sites):
+            uses = sites[var]
+            lines = sorted({line for _, line, _, _ in uses})
+            looped = [u for u in uses if u[2]]
+            if len(lines) < 2 and not looped:
+                continue
+            origin = min(o for _, _, _, o in uses if o) if any(
+                o for _, _, _, o in uses
+            ) else fn.line
+            first = looped[0] if looped else uses[0]
+            trace = [f"{path}:{origin}: rng stream {var!r} created here"]
+            trace += [
+                f"{path}:{line}: passed into scope {callee}()"
+                + (" inside a loop" if in_loop else "")
+                for callee, line, in_loop, _ in sorted(uses)[:6]
+            ]
+            detail = (
+                f"inside a loop at line {first[1]}"
+                if looped
+                else f"at lines {', '.join(str(n) for n in lines)}"
+            )
+            yield _finding(
+                self,
+                path,
+                first[1],
+                f"RNG object {var!r} is passed into multiple "
+                f"shard/machine scopes ({detail}); sibling scopes "
+                "sharing one stream alias their draws — derive one "
+                "child stream per scope with spawn_rngs(seed, n)",
+                trace=tuple(trace),
+            )
+
+
+@register
+class DroppedSeedRule:
+    """DET005: a seed/rng parameter accepted but provably dropped.
+
+    Fires only when the whole-program walk proves the value reaches no
+    entropy consumer on *any* resolved path — escapes, stores and
+    unresolved calls are assumed consumed.  Private helpers are exempt
+    (their public callers carry the contract, and are the ones checked);
+    the finding's trace renders the cross-module chain the seed takes
+    before it dies.
+    """
+
+    rule_id = "DET005"
+    description = (
+        "seed/rng parameter accepted but never threaded to any entropy "
+        "consumer"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        taint = project.taint()
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for fn in summary.functions:
+                if not fn.is_public or fn.name == "<module>":
+                    continue
+                for flow in fn.seed_flows:
+                    hops = taint.trace_seed(fn, flow)
+                    if hops is None:
+                        continue
+                    yield _finding(
+                        self,
+                        summary.path,
+                        fn.line,
+                        f"{fn.name}() accepts {flow.kind} parameter "
+                        f"{flow.param!r} but no path threads it to an "
+                        "entropy consumer; the parameter is replay "
+                        "theater — thread it through, or drop it from "
+                        "the signature",
+                        trace=tuple(h.render() for h in hops),
+                    )
+
+
+@register
+class UnorderedAccumulationRule:
+    """DET006: unordered container crossing a call into float accumulation.
+
+    DET003 catches ``for v in d.values(): total += v`` inside one
+    module; this is its interprocedural closure: the caller builds a set
+    or dict view, the callee does the accumulating, and no ``sorted()``
+    establishes an order on the path between them.  Ordering must be
+    established by whoever owns the container — the callee cannot know,
+    and the caller cannot see the ``+=``.
+    """
+
+    rule_id = "DET006"
+    description = (
+        "float accumulation over a container whose ordering is not "
+        "established on any path reaching it"
+    )
+    severity = Severity.WARNING
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for fn in summary.functions:
+                for call in fn.calls:
+                    if not call.unordered_args:
+                        continue
+                    target = project.resolve_callable(module, call.callee)
+                    if target is None:
+                        continue
+                    accum = {
+                        param: line
+                        for param, _pos, line in target.accum_params
+                    }
+                    if not accum:
+                        continue
+                    for position, keyword, desc in call.unordered_args:
+                        param = _param_bound(target, position, keyword)
+                        if param is None or param not in accum:
+                            continue
+                        target_path = project.path_of(target.module)
+                        trace = (
+                            f"{summary.path}:{call.line}: {desc} passed "
+                            f"to {target.name}() as {param!r}",
+                            f"{target_path}:{accum[param]}: float "
+                            f"accumulation over {param!r} here",
+                        )
+                        yield _finding(
+                            self,
+                            summary.path,
+                            call.line,
+                            f"{desc} flows into {target.name}(), which "
+                            f"float-accumulates over {param!r} without "
+                            "an established order; wrap the argument in "
+                            "sorted(...) where the container is built",
+                            trace=trace,
+                        )
+
+
+def _param_bound(
+    fn: FunctionSummary, position: object, keyword: object
+) -> object:
+    if keyword is not None:
+        return keyword if keyword in fn.params else None
+    if isinstance(position, int) and 0 <= position < len(fn.params):
+        return fn.params[position]
+    return None
+
+
+@register
+class RawSqliteRule:
+    """STORE001: raw sqlite access outside ``repro.store``.
+
+    The summary store's contract — sha-verified payloads, typed
+    corruption/schema/lock errors, quarantine-and-recompute — is
+    enforced entirely inside ``repro.store``'s helpers.  A raw
+    ``sqlite3.connect`` (or an ``.execute`` on such a connection)
+    anywhere else bypasses all of it: unverified reads, untyped
+    failures, writes outside any transaction discipline.
+    """
+
+    rule_id = "STORE001"
+    description = (
+        "raw sqlite3 access outside repro.store's transaction helpers"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            if not _in_package(module, "repro"):
+                continue
+            if _in_package(module, "repro.store"):
+                continue
+            summary = project.modules[module]
+            for fn in summary.functions:
+                for qualified, line in fn.sqlite_calls:
+                    yield _finding(
+                        self,
+                        summary.path,
+                        line,
+                        f"call to {qualified}() outside repro.store; go "
+                        "through SummaryStore so reads are sha-verified "
+                        "and writes are transactional",
+                    )
+                for method, line in fn.conn_execs:
+                    yield _finding(
+                        self,
+                        summary.path,
+                        line,
+                        f".{method}() on a raw sqlite connection outside "
+                        "repro.store; use SummaryStore's helpers",
+                    )
+
+
+@register
+class StoreWriteScopeRule:
+    """STORE002: store writes outside the ``BEGIN IMMEDIATE`` helper.
+
+    Inside ``repro.store``, every mutating statement must run through
+    the one serialization point (``SummaryStore._write``), which wraps
+    statements in ``BEGIN IMMEDIATE``/``COMMIT`` with a bounded busy
+    timeout and typed rollback.  A literal INSERT/UPDATE/DELETE executed
+    anywhere else is a write that can interleave with a concurrent
+    writer — exactly the corruption class the store exists to prevent.
+    """
+
+    rule_id = "STORE002"
+    description = (
+        "store write executed outside the BEGIN IMMEDIATE transaction "
+        "helper"
+    )
+    severity = Severity.ERROR
+
+    #: Function names whose body *is* the transaction helper.
+    helper_names = frozenset({"_write"})
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            if not _in_package(module, "repro.store"):
+                continue
+            summary = project.modules[module]
+            for fn in summary.functions:
+                if fn.name in self.helper_names:
+                    continue
+                for verb, line in fn.sql_writes:
+                    yield _finding(
+                        self,
+                        summary.path,
+                        line,
+                        f"{verb} executed outside the transaction helper "
+                        f"(in {fn.name}); route mutations through "
+                        "SummaryStore._write so they serialize under "
+                        "BEGIN IMMEDIATE",
+                    )
+
+
+@register
+class JournalAppendOnlyRule:
+    """FED001: custody-journal entries mutated after append.
+
+    Deterministic shard recovery replays the journal *prefix*; exactly-
+    once completion is an invariant over that prefix.  Both die the
+    moment an entry is rewritten, reordered or deleted.  The only code
+    allowed to touch the entry list is ``ShardJournal.__init__`` (create
+    it) and ``ShardJournal.append`` (extend it).
+    """
+
+    rule_id = "FED001"
+    description = "mutation of custody-journal entries after append"
+    severity = Severity.ERROR
+
+    _ALLOWED = frozenset({"__init__", "append"})
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            if not _in_package(module, "repro.federation"):
+                continue
+            summary = project.modules[module]
+            for fn in summary.functions:
+                if fn.cls == "ShardJournal" and fn.name in self._ALLOWED:
+                    continue
+                for desc, line in fn.journal_mutations:
+                    yield _finding(
+                        self,
+                        summary.path,
+                        line,
+                        f"{desc} mutates journal entries outside "
+                        "ShardJournal.append; the journal is append-only "
+                        "— recovery and exactly-once completion replay "
+                        "its prefix",
+                    )

@@ -1,28 +1,49 @@
 """File collection and rule execution: the engine behind ``repro lint``.
 
-The runner walks the requested paths, parses each ``*.py`` once, runs
-every active rule over the shared :class:`ModuleContext`, then subtracts
-``# repro: allow[...]`` suppressions and (optionally) a checked-in
-baseline.  It returns a :class:`LintReport` that keeps all three
-populations — new findings, suppressed findings, baselined findings — so
-callers can fail on the first while still accounting for the debt in the
-other two.
+The runner phases the work.  **Module phase**: each ``*.py`` file is
+parsed once, the module-scoped rules run over its
+:class:`ModuleContext`, and a :class:`ModuleSummary` is extracted — all
+of it a pure function of the file's bytes, so a
+:class:`~repro.analysis.project.SummaryCache` keyed on the source sha256
+can skip the whole phase for unchanged files.  **Project phase**: the
+summaries join into a :class:`~repro.analysis.project.ProjectContext`
+(symbol table, call graph, taint analysis) and the whole-program rules
+run once over it.  The join is cheap relative to parsing, so it is never
+cached — a warm incremental run re-parses nothing and still re-derives
+every interprocedural judgement from current facts.
+
+Suppressions (``# repro: allow[...]``) and the checked-in baseline are
+subtracted at the end; the returned :class:`LintReport` keeps all three
+populations — new, suppressed, baselined — plus the baseline entries
+that matched nothing (stale debt that should be pruned).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.rulebase import Rule, all_rules
+from repro.analysis.project import (
+    ModuleSummary,
+    ProjectContext,
+    SummaryCache,
+    source_sha256,
+)
+from repro.analysis.rulebase import all_rules, is_project_rule
 from repro.analysis.suppressions import parse_suppressions
 from repro.errors import ReproError
 
-__all__ = ["LintReport", "collect_files", "lint_paths", "lint_source"]
+__all__ = [
+    "LintReport",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+]
 
 #: Rule id used for files the linter cannot parse: an unparseable module
 #: cannot be proven deterministic, so it is itself a finding (not a crash).
@@ -38,6 +59,16 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     rule_ids: Tuple[str, ...] = ()
+    #: Baseline entries (file, rule, message) matched by no current
+    #: finding — debt already paid that ``--write-baseline`` will prune.
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The joined whole-program context (``--graph`` renders it); not
+    #: part of the report's value semantics.
+    project: Optional[ProjectContext] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def clean(self) -> bool:
@@ -91,10 +122,20 @@ def collect_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(files))
 
 
+def _split_rules(
+    rules: Optional[Sequence[Any]],
+) -> Tuple[List[Any], List[Any], List[Any]]:
+    """(all, module-scoped, project-scoped) active rules."""
+    active = list(rules) if rules is not None else all_rules()
+    module_rules = [r for r in active if not is_project_rule(r)]
+    project_rules = [r for r in active if is_project_rule(r)]
+    return active, module_rules, project_rules
+
+
 def _check_module(
-    ctx: ModuleContext, rules: Sequence[Rule]
+    ctx: ModuleContext, rules: Sequence[Any]
 ) -> Tuple[List[Finding], List[Finding]]:
-    """(kept, suppressed) findings for one parsed module."""
+    """(kept, suppressed) module-rule findings for one parsed module."""
     suppressions = parse_suppressions(ctx.source)
     kept: List[Finding] = []
     hidden: List[Finding] = []
@@ -107,57 +148,133 @@ def _check_module(
     return kept, hidden
 
 
-def lint_source(
-    source: str,
-    path: str = "<memory>",
-    module: Optional[str] = None,
-    rules: Optional[Sequence[Rule]] = None,
-) -> LintReport:
-    """Lint one in-memory module (test and tooling entry point).
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        file=path,
+        line=int(exc.lineno or 1),
+        col=int(exc.offset or 0),
+        rule_id=SYNTAX_RULE_ID,
+        severity=Severity.ERROR,
+        message=f"file does not parse: {exc.msg}",
+    )
 
-    ``module`` overrides the dotted name derived from ``path`` — package-
-    scoped rules (DET003, OBS001, API001) use it to decide applicability,
-    so fixtures can impersonate any part of the tree.
-    """
-    active = list(rules) if rules is not None else all_rules()
-    report = LintReport(rule_ids=tuple(r.rule_id for r in active))
-    report.files_scanned = 1
-    try:
-        ctx = ModuleContext.from_source(source, path=path, module=module)
-    except SyntaxError as exc:
-        report.findings.append(
-            Finding(
-                file=path,
-                line=int(exc.lineno or 1),
-                col=int(exc.offset or 0),
-                rule_id=SYNTAX_RULE_ID,
-                severity=Severity.ERROR,
-                message=f"file does not parse: {exc.msg}",
-            )
-        )
-        return report
-    kept, hidden = _check_module(ctx, active)
+
+def _run_project_rules(
+    report: LintReport, project: ProjectContext, project_rules: Sequence[Any]
+) -> None:
+    """Run the whole-program phase, honoring per-module suppressions."""
+    raw: List[Finding] = []
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+    kept, hidden = project.split_suppressed(raw)
     report.findings.extend(kept)
     report.suppressed.extend(hidden)
+
+
+def _apply_baseline(report: LintReport, baseline: Optional[Baseline]) -> None:
+    if baseline is None:
+        return
+    report.stale_baseline = baseline.stale(report.findings)
+    new, known = baseline.split(report.findings)
+    report.findings = new
+    report.baselined = known
+
+
+def lint_sources(
+    entries: Sequence[Tuple[str, str, Optional[str]]],
+    rules: Optional[Sequence[Any]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint in-memory ``(source, path, module)`` modules as one project.
+
+    The test entry point for whole-program rules: fixture mini-packages
+    impersonate any part of the tree via explicit module names, and the
+    project phase sees exactly the modules given — no filesystem.
+    """
+    active, module_rules, project_rules = _split_rules(rules)
+    report = LintReport(rule_ids=tuple(r.rule_id for r in active))
+    project = ProjectContext()
+    for source, path, module in entries:
+        report.files_scanned += 1
+        try:
+            ctx = ModuleContext.from_source(source, path=path, module=module)
+        except SyntaxError as exc:
+            report.findings.append(_syntax_finding(path, exc))
+            continue
+        kept, hidden = _check_module(ctx, module_rules)
+        report.findings.extend(kept)
+        report.suppressed.extend(hidden)
+        project.add(ModuleSummary.from_context(ctx))
+    _run_project_rules(report, project, project_rules)
+    _apply_baseline(report, baseline)
+    report.project = project
     report.sort()
     return report
 
 
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Any]] = None,
+) -> LintReport:
+    """Lint one in-memory module (test and tooling entry point).
+
+    ``module`` overrides the dotted name derived from ``path`` — package-
+    scoped rules (DET003, OBS001, API001, the STORE/FED families) use it
+    to decide applicability, so fixtures can impersonate any part of the
+    tree.  Project rules run over the single-module project.
+    """
+    return lint_sources([(source, path, module)], rules=rules)
+
+
 def lint_paths(
     paths: Sequence[str],
-    rules: Optional[Sequence[Rule]] = None,
+    rules: Optional[Sequence[Any]] = None,
     baseline: Optional[Baseline] = None,
+    cache: Optional[SummaryCache] = None,
 ) -> LintReport:
-    """Lint files and directories; the engine behind ``repro lint``."""
-    active = list(rules) if rules is not None else all_rules()
+    """Lint files and directories; the engine behind ``repro lint``.
+
+    With a ``cache``, unchanged files (by content sha256) skip parsing
+    and module-rule execution entirely; their stored summary still joins
+    the project phase, so interprocedural findings are always derived
+    from the full current module set.
+    """
+    active, module_rules, project_rules = _split_rules(rules)
     report = LintReport(rule_ids=tuple(r.rule_id for r in active))
+    project = ProjectContext()
     for path in collect_files(paths):
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
-        report.merge(lint_source(source, path=path, rules=active))
-    if baseline is not None:
-        new, known = baseline.split(report.findings)
-        report.findings = new
-        report.baselined = known
+        report.files_scanned += 1
+        sha = source_sha256(source)
+        if cache is not None:
+            hit = cache.get(path, sha)
+            if hit is not None:
+                summary, kept, hidden = hit
+                project.add(summary)
+                report.findings.extend(kept)
+                report.suppressed.extend(hidden)
+                continue
+        try:
+            ctx = ModuleContext.from_source(source, path=path)
+        except SyntaxError as exc:
+            report.findings.append(_syntax_finding(path, exc))
+            continue
+        kept, hidden = _check_module(ctx, module_rules)
+        report.findings.extend(kept)
+        report.suppressed.extend(hidden)
+        summary = ModuleSummary.from_context(ctx)
+        project.add(summary)
+        if cache is not None:
+            cache.put(path, sha, summary, kept, hidden)
+    _run_project_rules(report, project, project_rules)
+    if cache is not None:
+        cache.save()
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    _apply_baseline(report, baseline)
+    report.project = project
     report.sort()
     return report

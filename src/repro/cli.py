@@ -44,6 +44,7 @@ catalog (e.g. ``m4.2xlarge,m4.2xlarge,c4.2xlarge,c4.2xlarge``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -276,8 +277,13 @@ def cmd_profile(args) -> int:
 
 def _obs_config(args) -> dict:
     """JSON-serialisable provenance snapshot of the CLI invocation."""
+    from repro.analysis import RULESET_VERSION
+
     config = {k: v for k, v in vars(args).items() if k != "func"}
     config["repro_version"] = __version__
+    # Which lint rule set vetted the tree that produced this run: ties a
+    # figure back to the static guarantees in force when it was made.
+    config["lint_ruleset_version"] = RULESET_VERSION
     return config
 
 
@@ -1036,10 +1042,12 @@ def cmd_lint(args) -> int:
 
     from repro.analysis import (
         Baseline,
+        SummaryCache,
         all_rules,
         lint_paths,
         render_json,
         render_text,
+        ruleset_signature,
     )
     from repro.errors import ReproError
 
@@ -1052,8 +1060,15 @@ def cmd_lint(args) -> int:
             if args.baseline and not args.write_baseline
             else None
         )
+        cache = (
+            SummaryCache(args.cache, ruleset_signature(rules))
+            if args.cache
+            else None
+        )
         started = perf_counter()  # repro: allow[DET001]
-        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+        report = lint_paths(
+            args.paths, rules=rules, baseline=baseline, cache=cache
+        )
         elapsed = perf_counter() - started  # repro: allow[DET001]
     except ReproError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
@@ -1062,6 +1077,21 @@ def cmd_lint(args) -> int:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
 
+    if args.graph and report.project is not None:
+        import json as _json
+
+        os.makedirs(args.graph, exist_ok=True)
+        graph_doc = {
+            "format_version": 1,
+            "ruleset": ruleset_signature(rules),
+            "call_graph": report.project.call_graph().to_jsonable(),
+            "taint_edges": report.project.taint().taint_edges_jsonable(),
+        }
+        graph_path = os.path.join(args.graph, "lint-graph.json")
+        with open(graph_path, "w", encoding="utf-8") as fh:
+            _json.dump(graph_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
     if args.write_baseline:
         if not args.baseline:
             print(
@@ -1069,10 +1099,20 @@ def cmd_lint(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        pruned = 0
+        if os.path.isfile(args.baseline):
+            try:
+                previous = Baseline.load(args.baseline)
+                pruned = len(previous.stale(report.findings))
+            except ReproError as exc:
+                print(
+                    f"note: replacing unreadable baseline: {exc}",
+                    file=sys.stderr,
+                )
         Baseline.from_findings(report.findings).save(args.baseline)
         print(
             f"baseline with {len(report.findings)} entry(ies) written "
-            f"to {args.baseline}"
+            f"to {args.baseline} ({pruned} stale entry(ies) pruned)"
         )
         return 0
 
@@ -1085,6 +1125,10 @@ def cmd_lint(args) -> int:
             "findings": len(report.findings),
             "suppressed": len(report.suppressed),
             "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale_baseline),
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "ruleset": ruleset_signature(rules),
             "per_rule": report.per_rule_counts(include_hidden=True),
         }
         with open(args.stats, "w", encoding="utf-8") as fh:
@@ -1421,6 +1465,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write current findings to --baseline and exit 0")
     lnt.add_argument("--stats",
                      help="write runtime + per-rule counts JSON here")
+    lnt.add_argument("--cache",
+                     help="summary-cache JSON path; unchanged files (by "
+                     "content sha256) skip parsing on warm runs")
+    lnt.add_argument("--graph",
+                     help="directory to write the whole-program call "
+                     "graph + taint edges (lint-graph.json)")
     lnt.set_defaults(func=cmd_lint)
 
     met = sub.add_parser(

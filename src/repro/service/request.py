@@ -19,7 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.errors import WorkloadFormatError
+from repro.errors import FaultError, WorkloadFormatError
 from repro.faults.schedule import FaultSchedule
 from repro.faults.shards import ShardFaultSchedule
 from repro.graph.digraph import DiGraph
@@ -496,7 +496,7 @@ class Workload:
                 shard_faults = ShardFaultSchedule.from_jsonable(
                     payload["shard_faults"]
                 )
-            except Exception as exc:
+            except (FaultError, TypeError, ValueError, KeyError) as exc:
                 raise WorkloadFormatError(
                     f"malformed shard_faults: {exc}"
                 ) from exc

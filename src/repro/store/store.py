@@ -126,7 +126,11 @@ class SummaryStore:
             conn = sqlite3.connect(tmp, isolation_level=None)
             try:
                 conn.executescript(_SCHEMA)
-                conn.execute(
+                # This INSERT seeds the schema-version row on the .init-tmp
+                # file *before* os.replace publishes it: no reader or writer
+                # can hold the path yet, so there is nothing to serialize
+                # against and _write's BEGIN IMMEDIATE would add nothing.
+                conn.execute(  # repro: allow[STORE002]
                     "INSERT INTO store_meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)),
                 )

@@ -1,0 +1,18 @@
+"""DET004 positive fixture: one rng stream shared across sibling scopes."""
+
+from repro.utils.rng import make_rng
+
+
+def build_cluster(seed):
+    rng = make_rng(seed)
+    first = ShardWorker(rng)
+    second = ShardWorker(rng)
+    return first, second
+
+
+def build_fleet(seed, n):
+    rng = make_rng(seed)
+    workers = []
+    for _ in range(n):
+        workers.append(MachineScope(rng))
+    return workers

@@ -1,0 +1,18 @@
+"""DET004 negative fixture: one child stream per scope, single-scope use."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def build_pair(seed):
+    rng_a, rng_b = spawn_rngs(seed, 2)
+    return ShardWorker(rng_a), ShardWorker(rng_b)
+
+
+def build_one(seed):
+    rng = make_rng(seed)
+    return ShardWorker(rng)
+
+
+def build_fleet(seed, n):
+    rngs = spawn_rngs(seed, n)
+    return [ShardWorker(child) for child in rngs]

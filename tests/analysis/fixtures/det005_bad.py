@@ -1,0 +1,16 @@
+"""DET005 positive fixture: accepted seeds that provably go nowhere."""
+
+
+def run_trial(seed):
+    # Forwards the seed into a helper that drops it: the finding's trace
+    # crosses the call boundary.
+    return _sink(seed)
+
+
+def _sink(seed):
+    return 42
+
+
+def ignored(seed):
+    # Never read at all: single-hop proof.
+    return 7

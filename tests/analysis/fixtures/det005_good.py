@@ -1,0 +1,28 @@
+"""DET005 negative fixture: every accepted seed is threaded or escapes."""
+
+from repro.utils.rng import make_rng
+
+
+def seeded(seed):
+    rng = make_rng(seed)
+    return rng.random()
+
+
+def forwarded(seed):
+    return seeded(seed)
+
+
+def recorded(seed):
+    # Passed to code outside the project: assumed consumed.
+    print(seed)
+    return 0
+
+
+class Runner:
+    def __init__(self, seed):
+        self.seed = seed  # threaded via instance state
+
+
+def _private_drop(seed):
+    # Private helpers are exempt; their public callers carry the contract.
+    return 0

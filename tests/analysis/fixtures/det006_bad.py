@@ -1,0 +1,17 @@
+"""DET006 positive fixture: set-valued argument into float accumulation."""
+
+
+def fold(weights):
+    total = 0.0
+    for w in weights:
+        total += w
+    return total
+
+
+def caller_variable():
+    degrees = {0.5, 1.5, 2.5}
+    return fold(degrees)
+
+
+def caller_literal():
+    return fold({1.0, 2.0})

@@ -1,0 +1,29 @@
+"""DET006 negative fixture: order established, or order-insensitive sum."""
+
+
+def fold(weights):
+    total = 0.0
+    for w in weights:
+        total += w
+    return total
+
+
+def count(items):
+    n = 0
+    for _ in items:
+        n += 1
+    return n
+
+
+def caller_sorted():
+    degrees = {0.5, 1.5, 2.5}
+    return fold(sorted(degrees))
+
+
+def caller_int_accumulator():
+    # Integer accumulation is order-insensitive.
+    return count({1, 2, 3})
+
+
+def caller_list():
+    return fold([0.5, 1.5])

@@ -1,0 +1,25 @@
+"""ERR002 positive fixture (linted as a repro module)."""
+
+from repro import errors
+from repro.errors import ConvergenceError, StoreError
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except StoreError:
+        return None
+
+
+def solve(x):
+    try:
+        return x
+    except ConvergenceError as exc:
+        return None
+
+
+def fetch(key):
+    try:
+        return key
+    except errors.StoreSchemaError:
+        return None

@@ -1,0 +1,26 @@
+"""ERR002 negative fixture: typed errors re-raised or at least examined."""
+
+from repro.errors import ConvergenceError, StoreError
+
+
+def load(path, log):
+    try:
+        return open(path).read()
+    except StoreError as exc:
+        log(exc)
+        return None
+
+
+def solve(x):
+    try:
+        return x
+    except ConvergenceError:
+        raise
+
+
+def convert(x):
+    try:
+        return int(x)
+    except ValueError:
+        # Not a repro typed error; ERR002 does not police stdlib types.
+        return 0

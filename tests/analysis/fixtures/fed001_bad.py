@@ -1,0 +1,15 @@
+"""FED001 positive fixture (linted as a repro.federation module)."""
+
+
+class ShardJournal:
+    def __init__(self):
+        self._entries = []
+
+    def append(self, entry):
+        self._entries.append(entry)
+
+    def rewrite(self, index, entry):
+        self._entries[index] = entry
+
+    def compact(self):
+        self._entries.clear()

@@ -1,0 +1,21 @@
+"""FED001 negative fixture: the journal only ever grows."""
+
+
+class ShardJournal:
+    def __init__(self):
+        self._entries = []
+
+    def append(self, entry):
+        self._entries.append(entry)
+
+    def replay(self):
+        return list(self._entries)
+
+
+class Ledger:
+    def __init__(self):
+        self.records = []
+
+    def reset(self):
+        # Not a journal entry list; FED001 does not apply.
+        self.records.clear()

@@ -1,0 +1,10 @@
+"""STORE001 positive fixture (linted as a non-store repro module)."""
+
+import sqlite3
+
+
+def read_rows(path):
+    conn = sqlite3.connect(path)
+    rows = conn.execute("SELECT payload FROM summaries").fetchall()
+    conn.close()
+    return rows

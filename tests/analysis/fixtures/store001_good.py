@@ -1,0 +1,11 @@
+"""STORE001 negative fixture: goes through the store's public surface."""
+
+from repro.store import SummaryStore
+
+
+def read_rows(path):
+    store = SummaryStore.open(path)
+    try:
+        return store.stats()
+    finally:
+        store.close()

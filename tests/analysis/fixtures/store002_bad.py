@@ -1,0 +1,10 @@
+"""STORE002 positive fixture (linted as a repro.store module)."""
+
+
+def bump_meta(conn):
+    conn.execute("UPDATE store_meta SET value = '2' WHERE key = 'v'")
+
+
+class Maintenance:
+    def purge(self, conn, key):
+        conn.execute("DELETE FROM summaries WHERE key = ?", (key,))

@@ -1,0 +1,14 @@
+"""STORE002 negative fixture: writes live in the helper, reads anywhere."""
+
+
+class Store:
+    def _write(self, conn, key, payload):
+        conn.execute(
+            "INSERT INTO summaries (key, payload) VALUES (?, ?)",
+            (key, payload),
+        )
+
+    def get(self, conn, key):
+        return conn.execute(
+            "SELECT payload FROM summaries WHERE key = ?", (key,)
+        ).fetchone()

@@ -49,6 +49,7 @@ class TestJsonOutput:
             "findings",
             "suppressed",
             "baselined",
+            "stale_baseline",
             "files_scanned",
             "per_rule",
         }
@@ -62,9 +63,24 @@ class TestJsonOutput:
             "rule",
             "severity",
             "message",
+            "trace",
         }
         ids = {r["id"] for r in doc["rules"]}
-        assert {"DET001", "DET002", "DET003", "OBS001", "ERR001", "API001"} <= ids
+        assert {
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "DET005",
+            "DET006",
+            "OBS001",
+            "ERR001",
+            "ERR002",
+            "API001",
+            "STORE001",
+            "STORE002",
+            "FED001",
+        } <= ids
 
     def test_rule_filter(self, capsys):
         main(["lint", BAD_FIXTURE, "--json", "--rules", "DET002"])
@@ -97,6 +113,46 @@ class TestBaselineWorkflow:
         assert main(["lint", str(target), "--baseline", bpath]) == 1
 
 
+class TestStaleBaseline:
+    def test_stale_entries_reported_and_pruned(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nx = time.time()\n")
+        bpath = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", str(target), "--baseline", bpath, "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        # Fix the finding: the baseline entry is now stale debt.
+        target.write_text("x = 1\n")
+        spath = str(tmp_path / "stats.json")
+        assert main(
+            ["lint", str(target), "--baseline", bpath, "--stats", spath]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entries: 1" in out
+        with open(spath, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["stale_baseline"] == 1
+        # Regeneration prunes it and says so.
+        assert main(
+            ["lint", str(target), "--baseline", bpath, "--write-baseline"]
+        ) == 0
+        assert "1 stale entry(ies) pruned" in capsys.readouterr().out
+        with open(bpath, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["entries"] == []
+
+    def test_stale_entries_appear_in_json_report(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n\nx = time.time()\n")
+        bpath = str(tmp_path / "baseline.json")
+        main(["lint", str(target), "--baseline", bpath, "--write-baseline"])
+        capsys.readouterr()
+        target.write_text("x = 1\n")
+        main(["lint", str(target), "--baseline", bpath, "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["stale_baseline"] == 1
+        assert doc["stale_baseline"][0]["rule"] == "DET001"
+
+
 class TestStats:
     def test_stats_file_schema(self, tmp_path, capsys):
         spath = str(tmp_path / "stats.json")
@@ -107,6 +163,74 @@ class TestStats:
         assert stats["findings"] > 0
         assert stats["runtime_seconds"] >= 0
         assert "DET001" in stats["per_rule"]
+        assert stats["stale_baseline"] == 0
+        assert stats["ruleset"].startswith("v")
+
+
+class TestSummaryCache:
+    def test_warm_run_hits_and_agrees(self, tmp_path, capsys):
+        cpath = str(tmp_path / "cache.json")
+        s1 = str(tmp_path / "s1.json")
+        s2 = str(tmp_path / "s2.json")
+        assert main(
+            ["lint", BAD_FIXTURE, "--cache", cpath, "--stats", s1]
+        ) == 1
+        capsys.readouterr()
+        assert main(
+            ["lint", BAD_FIXTURE, "--cache", cpath, "--stats", s2]
+        ) == 1
+        with open(s1, encoding="utf-8") as fh:
+            cold_stats = json.load(fh)
+        with open(s2, encoding="utf-8") as fh:
+            warm_stats = json.load(fh)
+        assert cold_stats["cache_hits"] == 0
+        assert cold_stats["cache_misses"] == 1
+        assert warm_stats["cache_hits"] == 1
+        assert warm_stats["cache_misses"] == 0
+        assert cold_stats["per_rule"] == warm_stats["per_rule"]
+
+    def test_rule_filter_invalidates_cache(self, tmp_path, capsys):
+        cpath = str(tmp_path / "cache.json")
+        spath = str(tmp_path / "s.json")
+        main(["lint", BAD_FIXTURE, "--cache", cpath])
+        capsys.readouterr()
+        main(
+            [
+                "lint",
+                BAD_FIXTURE,
+                "--cache",
+                cpath,
+                "--rules",
+                "DET001",
+                "--stats",
+                spath,
+            ]
+        )
+        with open(spath, encoding="utf-8") as fh:
+            stats = json.load(fh)
+        # Different rule set => different signature => cold run.
+        assert stats["cache_hits"] == 0
+
+
+class TestGraphArtifact:
+    def test_graph_json_written(self, tmp_path, capsys):
+        gdir = str(tmp_path / "graph")
+        main(["lint", BAD_FIXTURE, "--graph", gdir])
+        capsys.readouterr()
+        with open(
+            os.path.join(gdir, "lint-graph.json"), encoding="utf-8"
+        ) as fh:
+            doc = json.load(fh)
+        assert doc["format_version"] == 1
+        assert set(doc) == {
+            "format_version",
+            "ruleset",
+            "call_graph",
+            "taint_edges",
+        }
+        graph = doc["call_graph"]
+        assert set(graph["counts"]) == {"nodes", "edges", "external"}
+        assert isinstance(doc["taint_edges"], list)
 
 
 class TestSelfLint:

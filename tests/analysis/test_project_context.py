@@ -1,0 +1,282 @@
+"""Whole-program infrastructure: symbol resolution, the call graph's
+structural properties (hypothesis-pinned), and the summary cache."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Baseline,
+    CallGraph,
+    ProjectContext,
+    SummaryCache,
+    all_rules,
+    lint_paths,
+    ruleset_signature,
+)
+from repro.analysis.callgraph import CallEdge
+from repro.analysis.project import ModuleSummary, source_sha256
+
+# --------------------------------------------------------------------- #
+# Symbol resolution
+# --------------------------------------------------------------------- #
+
+PKG_INIT = "from repro.fx.impl import make_rng\n"
+IMPL = "def make_rng(seed):\n    return seed\n"
+CALLER = (
+    "from repro.fx import make_rng\n"
+    "\n"
+    "def use(seed):\n"
+    "    return make_rng(seed)\n"
+)
+
+
+def three_module_project():
+    return ProjectContext.from_sources(
+        [
+            (PKG_INIT, "src/repro/fx/__init__.py", "repro.fx"),
+            (IMPL, "src/repro/fx/impl.py", "repro.fx.impl"),
+            (CALLER, "src/repro/use.py", "repro.use"),
+        ]
+    )
+
+
+class TestResolution:
+    def test_reexport_chain_is_chased(self):
+        project = three_module_project()
+        target = project.resolve_callable("repro.use", "repro.fx.make_rng")
+        assert target is not None
+        assert target.qualname == "repro.fx.impl.make_rng"
+
+    def test_unknown_name_is_none(self):
+        project = three_module_project()
+        assert project.resolve_callable("repro.use", "numpy.zeros") is None
+
+    def test_self_method_resolves_when_unambiguous(self):
+        source = (
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        return self.step()\n"
+            "\n"
+            "    def step(self):\n"
+            "        return 1\n"
+        )
+        project = ProjectContext.from_sources(
+            [(source, "src/repro/e.py", "repro.e")]
+        )
+        target = project.resolve_callable("repro.e", "self.step")
+        assert target is not None and target.qualname == "repro.e.Engine.step"
+
+    def test_class_name_resolves_to_init(self):
+        source = (
+            "class Engine:\n"
+            "    def __init__(self, seed):\n"
+            "        self.seed = seed\n"
+        )
+        project = ProjectContext.from_sources(
+            [(source, "src/repro/e.py", "repro.e")]
+        )
+        target = project.resolve_callable("repro.e", "repro.e.Engine")
+        assert target is not None
+        assert target.qualname == "repro.e.Engine.__init__"
+
+    def test_call_graph_edge_for_reexported_callee(self):
+        project = three_module_project()
+        graph = project.call_graph()
+        assert any(
+            e.caller == "repro.use.use"
+            and e.callee == "repro.fx.impl.make_rng"
+            for e in graph.edges
+        )
+
+
+# --------------------------------------------------------------------- #
+# Structural properties
+# --------------------------------------------------------------------- #
+
+
+def _make_sources(n_modules, calls):
+    """Modules m0..m{n-1}, each with f(); ``calls`` maps i -> set of j."""
+    entries = []
+    for i in range(n_modules):
+        lines = [f"import repro.m{j}" for j in sorted(calls.get(i, ()))]
+        body = ["def f():"] + (
+            [f"    repro.m{j}.f()" for j in sorted(calls.get(i, ()))]
+            or ["    pass"]
+        )
+        source = "\n".join(lines + body) + "\n"
+        entries.append((source, f"src/repro/m{i}.py", f"repro.m{i}"))
+    return entries
+
+
+class TestEdgeSetStability:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_edges_independent_of_module_ordering(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        calls = {
+            i: data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n - 1).filter(
+                        lambda j, i=i: j != i
+                    ),
+                    max_size=n - 1,
+                )
+            )
+            for i in range(n)
+        }
+        entries = _make_sources(n, calls)
+        shuffled = data.draw(st.permutations(entries))
+        base = ProjectContext.from_sources(entries).call_graph()
+        permuted = ProjectContext.from_sources(shuffled).call_graph()
+        assert base.edges == permuted.edges
+        assert base.external == permuted.external
+        assert base.nodes == permuted.nodes
+
+
+def _edge(pair):
+    a, b = pair
+    return CallEdge(caller=f"n{a}", callee=f"n{b}", file="f.py", line=1)
+
+
+class TestReachabilityMonotone:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        base=st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=20,
+        ),
+        extra=st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=10,
+        ),
+        targets=st.sets(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=3
+        ),
+    )
+    def test_adding_edges_never_shrinks_closure(self, base, extra, targets):
+        nodes = {f"n{i}" for i in range(8)}
+        small = CallGraph.from_edges(map(_edge, base), nodes=nodes)
+        large = CallGraph.from_edges(
+            map(_edge, base | extra), nodes=nodes
+        )
+        target_names = {f"n{i}" for i in targets}
+        assert small.reachable_to(target_names) <= large.reachable_to(
+            target_names
+        )
+
+    def test_reachability_is_inclusive_and_transitive(self):
+        graph = CallGraph.from_edges(map(_edge, {(0, 1), (1, 2), (3, 0)}))
+        assert graph.reachable_to({"n2"}) == {"n0", "n1", "n2", "n3"}
+        assert graph.reachable_to({"n3"}) == {"n3"}
+
+
+# --------------------------------------------------------------------- #
+# Summary cache
+# --------------------------------------------------------------------- #
+
+
+class TestSummaryCache:
+    def _write_tree(self, tmp_path, body="x = 1\n"):
+        target = tmp_path / "mod.py"
+        target.write_text(body)
+        return str(target)
+
+    def test_roundtrip_preserves_summary_and_findings(self, tmp_path):
+        target = self._write_tree(tmp_path, "import time\nt = time.time()\n")
+        cpath = str(tmp_path / "cache.json")
+        rules = all_rules()
+        sig = ruleset_signature(rules)
+        cold = lint_paths(
+            [target], rules=rules, cache=SummaryCache(cpath, sig)
+        )
+        warm = lint_paths(
+            [target], rules=rules, cache=SummaryCache(cpath, sig)
+        )
+        assert cold.cache_misses == 1 and cold.cache_hits == 0
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+        assert [f.fingerprint() for f in cold.findings] == [
+            f.fingerprint() for f in warm.findings
+        ]
+
+    def test_content_change_invalidates_entry(self, tmp_path):
+        target = self._write_tree(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        sig = ruleset_signature(all_rules())
+        lint_paths([target], cache=SummaryCache(cpath, sig))
+        with open(target, "a", encoding="utf-8") as fh:
+            fh.write("y = 2\n")
+        warm = lint_paths([target], cache=SummaryCache(cpath, sig))
+        assert warm.cache_misses == 1
+
+    def test_signature_mismatch_discards_whole_cache(self, tmp_path):
+        target = self._write_tree(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        lint_paths([target], cache=SummaryCache(cpath, "v1:A"))
+        warm = lint_paths([target], cache=SummaryCache(cpath, "v1:B"))
+        assert warm.cache_misses == 1 and warm.cache_hits == 0
+
+    def test_corrupt_cache_is_discarded_not_fatal(self, tmp_path):
+        target = self._write_tree(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        with open(cpath, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        report = lint_paths([target], cache=SummaryCache(cpath, "v1:A"))
+        assert report.files_scanned == 1
+        with open(cpath, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["signature"] == "v1:A"
+
+    def test_cached_run_still_joins_project_phase(self, tmp_path):
+        """Interprocedural findings must re-derive on warm runs."""
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("def run(seed):\n    return 1\n")
+        b.write_text("x = 1\n")
+        cpath = str(tmp_path / "cache.json")
+        rules = all_rules(only=["DET005"])
+        sig = ruleset_signature(rules)
+        cold = lint_paths(
+            [str(tmp_path)], rules=rules, cache=SummaryCache(cpath, sig)
+        )
+        warm = lint_paths(
+            [str(tmp_path)], rules=rules, cache=SummaryCache(cpath, sig)
+        )
+        assert len(cold.findings) == len(warm.findings) == 1
+        assert warm.cache_hits == 2
+
+    def test_module_summary_roundtrips_through_json(self, tmp_path):
+        source = (
+            "from repro.utils.rng import make_rng\n"
+            "\n"
+            "def run(seed):  # repro: allow[DET005]\n"
+            "    total = 0.0\n"
+            "    return total\n"
+        )
+        project = ProjectContext.from_sources(
+            [(source, "src/repro/r.py", "repro.r")]
+        )
+        summary = project.modules["repro.r"]
+        clone = ModuleSummary.from_jsonable(
+            json.loads(json.dumps(summary.to_jsonable()))
+        )
+        assert clone == summary
+        assert clone.sha256 == source_sha256(source)
+
+
+class TestBaselineStale:
+    def test_stale_computation(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nt = time.time()\n")
+        report = lint_paths([str(target)])
+        baseline = Baseline.from_findings(report.findings)
+        assert baseline.stale(report.findings) == []
+        stale = baseline.stale([])
+        assert len(stale) == 1
+        assert stale[0][1] == "DET001"

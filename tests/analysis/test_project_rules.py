@@ -1,0 +1,319 @@
+"""Whole-program rule tests: DET004–DET006, STORE001/STORE002, FED001,
+ERR002.  Each rule fires on its bad fixture, stays silent on the good
+one, and honors ``# repro: allow[...]`` suppression — for project rules
+that exercises the :meth:`ProjectContext.split_suppressed` path, not the
+module-phase filter."""
+
+import os
+
+from repro.analysis import all_rules, lint_source, lint_sources
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def lint_fixture(name: str, rule_id: str, module=None):
+    return lint_source(
+        fixture(name),
+        path=os.path.join(FIXTURES, name),
+        module=module,
+        rules=all_rules(only=[rule_id]),
+    )
+
+
+class TestDET004:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det004_bad.py", "DET004")
+        assert len(report.findings) == 2
+        messages = " ".join(f.message for f in report.findings)
+        assert "multiple shard/machine scopes" in messages
+        assert "inside a loop" in messages
+        assert all(f.trace for f in report.findings)
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det004_good.py", "DET004")
+        assert report.clean
+        assert not report.suppressed
+
+    def test_trace_names_origin_and_sites(self):
+        report = lint_fixture("det004_bad.py", "DET004")
+        sharing = next(
+            f for f in report.findings if "at lines" in f.message
+        )
+        assert "created here" in sharing.trace[0]
+        assert sum("passed into scope" in h for h in sharing.trace) == 2
+
+    def test_suppression_honored(self):
+        source = fixture("det004_bad.py").replace(
+            "    first = ShardWorker(rng)",
+            "    first = ShardWorker(rng)  # repro: allow[DET004]",
+        )
+        report = lint_source(
+            source, path="x.py", rules=all_rules(only=["DET004"])
+        )
+        # The two-site finding anchors on its first site; the loop one
+        # in build_fleet still fires.
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestDET005:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det005_bad.py", "DET005")
+        assert len(report.findings) == 2
+        by_msg = {f.message.split("(")[0]: f for f in report.findings}
+        assert any("run_trial" in m for m in by_msg)
+        assert any("ignored" in m for m in by_msg)
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det005_good.py", "DET005")
+        assert report.clean
+
+    def test_trace_crosses_call_boundary(self):
+        report = lint_fixture("det005_bad.py", "DET005")
+        forwarded = next(
+            f for f in report.findings if "run_trial" in f.message
+        )
+        assert len(forwarded.trace) == 3
+        assert "accepted by run_trial()" in forwarded.trace[0]
+        assert "passed to _sink() as 'seed'" in forwarded.trace[1]
+        assert "no resolved path" in forwarded.trace[2]
+
+    def test_cross_module_trace(self):
+        """The interprocedural case: entry and sink in different modules."""
+        entry = (
+            "from repro.apps.sweep import launch\n"
+            "\n"
+            "def run_experiment(seed):\n"
+            "    return launch(seed)\n"
+        )
+        sink = "def launch(seed):\n    return 42\n"
+        report = lint_sources(
+            [
+                (entry, "src/repro/apps/driver.py", "repro.apps.driver"),
+                (sink, "src/repro/apps/sweep.py", "repro.apps.sweep"),
+            ],
+            rules=all_rules(only=["DET005"]),
+        )
+        files = {f.file for f in report.findings}
+        entry_finding = next(
+            f for f in report.findings if "run_experiment" in f.message
+        )
+        assert "src/repro/apps/driver.py" in files
+        hops = "\n".join(entry_finding.trace)
+        assert "driver.py" in hops and "passed to launch()" in hops
+
+    def test_suppression_honored(self):
+        source = "def ignored(seed):  # repro: allow[DET005]\n    return 7\n"
+        report = lint_source(
+            source, path="x.py", rules=all_rules(only=["DET005"])
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+
+class TestDET006:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture("det006_bad.py", "DET006")
+        assert len(report.findings) == 2
+        messages = " ".join(f.message for f in report.findings)
+        assert "float-accumulates" in messages
+        assert "set literal/comprehension" in messages
+        assert "variable 'degrees' (set-valued)" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture("det006_good.py", "DET006")
+        assert report.clean
+
+    def test_trace_links_both_sides(self):
+        report = lint_fixture("det006_bad.py", "DET006")
+        first = report.findings[0]
+        assert len(first.trace) == 2
+        assert "passed to fold()" in first.trace[0]
+        assert "float accumulation over 'weights'" in first.trace[1]
+
+    def test_suppression_honored(self):
+        source = fixture("det006_bad.py").replace(
+            "    return fold(degrees)",
+            "    return fold(degrees)  # repro: allow[DET006]",
+        )
+        report = lint_source(
+            source, path="x.py", rules=all_rules(only=["DET006"])
+        )
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestSTORE001:
+    def test_bad_fixture_fires_outside_store(self):
+        report = lint_fixture(
+            "store001_bad.py", "STORE001", module="repro.service.sneaky"
+        )
+        assert len(report.findings) == 2
+        messages = " ".join(f.message for f in report.findings)
+        assert "sqlite3.connect" in messages
+        assert ".execute()" in messages
+
+    def test_same_code_inside_store_is_silent(self):
+        report = lint_fixture(
+            "store001_bad.py", "STORE001", module="repro.store.migrations"
+        )
+        assert report.clean
+
+    def test_outside_repro_is_silent(self):
+        report = lint_fixture(
+            "store001_bad.py", "STORE001", module="scripts.tool"
+        )
+        assert report.clean
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture(
+            "store001_good.py", "STORE001", module="repro.service.reader"
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        source = fixture("store001_bad.py").replace(
+            "    conn = sqlite3.connect(path)",
+            "    conn = sqlite3.connect(path)  # repro: allow[STORE001]",
+        )
+        report = lint_source(
+            source,
+            path="x.py",
+            module="repro.service.sneaky",
+            rules=all_rules(only=["STORE001"]),
+        )
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestSTORE002:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture(
+            "store002_bad.py", "STORE002", module="repro.store.helpers"
+        )
+        assert len(report.findings) == 2
+        verbs = " ".join(f.message for f in report.findings)
+        assert "UPDATE" in verbs and "DELETE" in verbs
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture(
+            "store002_good.py", "STORE002", module="repro.store.helpers"
+        )
+        assert report.clean
+
+    def test_outside_store_is_silent(self):
+        report = lint_fixture(
+            "store002_bad.py", "STORE002", module="repro.service.other"
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        source = fixture("store002_bad.py").replace(
+            '    conn.execute("UPDATE',
+            '    conn.execute(  # repro: allow[STORE002]\n        "UPDATE',
+        )
+        report = lint_source(
+            source,
+            path="x.py",
+            module="repro.store.helpers",
+            rules=all_rules(only=["STORE002"]),
+        )
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestFED001:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture(
+            "fed001_bad.py", "FED001", module="repro.federation.fx"
+        )
+        assert len(report.findings) == 2
+        messages = " ".join(f.message for f in report.findings)
+        assert "append-only" in messages
+        assert "item assignment" in messages
+        assert ".clear()" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture(
+            "fed001_good.py", "FED001", module="repro.federation.fx"
+        )
+        assert report.clean
+
+    def test_outside_federation_is_silent(self):
+        report = lint_fixture(
+            "fed001_bad.py", "FED001", module="repro.service.fx"
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        source = fixture("fed001_bad.py").replace(
+            "        self._entries.clear()",
+            "        self._entries.clear()  # repro: allow[FED001]",
+        )
+        report = lint_source(
+            source,
+            path="x.py",
+            module="repro.federation.fx",
+            rules=all_rules(only=["FED001"]),
+        )
+        assert len(report.findings) == 1
+        assert len(report.suppressed) == 1
+
+
+class TestERR002:
+    def test_bad_fixture_fires(self):
+        report = lint_fixture(
+            "err002_bad.py", "ERR002", module="repro.service.fx"
+        )
+        assert len(report.findings) == 3
+        messages = " ".join(f.message for f in report.findings)
+        assert "StoreError" in messages
+        assert "ConvergenceError" in messages
+        assert "StoreSchemaError" in messages
+
+    def test_good_fixture_clean(self):
+        report = lint_fixture(
+            "err002_good.py", "ERR002", module="repro.service.fx"
+        )
+        assert report.clean
+
+    def test_outside_repro_is_silent(self):
+        report = lint_fixture(
+            "err002_bad.py", "ERR002", module="scripts.tool"
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        source = fixture("err002_bad.py").replace(
+            "    except StoreError:",
+            "    except StoreError:  # repro: allow[ERR002]",
+        )
+        report = lint_source(
+            source,
+            path="x.py",
+            module="repro.service.fx",
+            rules=all_rules(only=["ERR002"]),
+        )
+        assert len(report.findings) == 2
+        assert len(report.suppressed) == 1
+
+
+class TestFindingRendering:
+    def test_trace_rendered_in_text_and_json(self):
+        report = lint_fixture("det005_bad.py", "DET005")
+        finding = next(f for f in report.findings if f.trace)
+        text = finding.render()
+        assert "\n    trace: " in text
+        doc = finding.to_jsonable()
+        assert doc["trace"] == list(finding.trace)
+
+    def test_module_findings_have_empty_trace(self):
+        report = lint_fixture("err002_bad.py", "ERR002",
+                              module="repro.service.fx")
+        assert all(f.trace == () for f in report.findings)
+        assert "trace:" not in report.findings[0].render()
