@@ -1,0 +1,228 @@
+"""Benchmark incremental vs full re-partitioning under churn (BENCH_PR9.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_streaming.py --scale 0.01
+
+Replays one seeded churn stream (the `repro experiment churn` setup:
+Case 1 cluster, 1200-vertex power-law graph at the default scale, six
+12-op batches) through the incremental partitioner and through a
+full-per-batch re-partition for every Case 1 partitioning algorithm.
+Records, per algorithm: cumulative placement work (edges the strategy
+had to (re)place) and migration volume (surviving edges that changed
+machines) for both modes, final weighted imbalance for both modes, and
+the sha256 of the streaming trace from two independent runs.
+
+Everything recorded is deterministic, so ``--check`` holds the metrics
+to the checked-in baseline exactly.  Two invariants are gated
+unconditionally (they are the PR's acceptance floor, not just drift
+guards):
+
+* the streaming trace must be byte-identical across the two runs;
+* incremental placement work must be *strictly less* than the full
+  re-partition's for every algorithm.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+
+#: The churn experiment's stream recipe (kept in lockstep with
+#: repro.experiments.churn defaults so the bench gates the experiment).
+NUM_BATCHES = 6
+OPS_PER_BATCH = 12
+STREAM_SEED = 9
+GRAPH_SEED = 1234
+APP = "pagerank"
+HALO = 1
+
+
+def _setup(scale):
+    from repro.experiments.common import case1_cluster
+    from repro.powerlaw.generator import generate_power_law_graph
+    from repro.streaming import generate_stream
+
+    graph = generate_power_law_graph(
+        num_vertices=max(200, round(120_000 * scale)),
+        alpha=2.1,
+        seed=GRAPH_SEED,
+    )
+    stream = generate_stream(
+        graph,
+        pattern="churn",
+        num_batches=NUM_BATCHES,
+        ops_per_batch=OPS_PER_BATCH,
+        seed=STREAM_SEED,
+    )
+    return case1_cluster(scale), graph, stream
+
+
+def _streaming_trace(cluster, graph, stream, algorithm):
+    from repro.apps.registry import make_app
+    from repro.partition import make_partitioner
+    from repro.streaming import StreamingSystem
+
+    system = StreamingSystem(cluster, halo=HALO)
+    return system.run(
+        make_app(APP), graph, stream, make_partitioner(algorithm, seed=STREAM_SEED)
+    ).trace_json()
+
+
+def run_bench(scale):
+    from repro.experiments.churn import run_churn
+
+    cluster, graph, stream = _setup(scale)
+    started = time.perf_counter()  # repro: allow[DET001]
+    result = run_churn(scale=scale, mutations=stream)
+    wall = time.perf_counter() - started  # repro: allow[DET001]
+
+    entry = {
+        "app": APP,
+        "halo": HALO,
+        "stream": {
+            "pattern": "churn",
+            "batches": NUM_BATCHES,
+            "ops_per_batch": OPS_PER_BATCH,
+            "seed": STREAM_SEED,
+            "fingerprint": stream.fingerprint(),
+        },
+        "graph_vertices": graph.num_vertices,
+        "graph_edges": graph.num_edges,
+        "wall_seconds": round(wall, 3),
+        "algorithms": {},
+    }
+    for row in result.rows_list:
+        first = _streaming_trace(cluster, graph, stream, row.algorithm)
+        second = _streaming_trace(cluster, graph, stream, row.algorithm)
+        entry["algorithms"][row.algorithm] = {
+            "byte_identical": first == second,
+            "trace_sha256": hashlib.sha256(first.encode("utf-8")).hexdigest(),
+            "incremental_reassigned": row.incremental_reassigned,
+            "full_reassigned": row.full_reassigned,
+            "incremental_moved": row.incremental_moved,
+            "full_moved": row.full_moved,
+            "incremental_imbalance": round(row.incremental_imbalance, 6),
+            "full_imbalance": round(row.full_imbalance, 6),
+            "work_ratio": round(row.work_ratio, 6),
+        }
+        print(
+            f"{row.algorithm}: reassigned {row.incremental_reassigned} vs "
+            f"{row.full_reassigned} full ({row.work_ratio:.2%}), moved "
+            f"{row.incremental_moved} vs {row.full_moved}, imbalance "
+            f"{row.incremental_imbalance:.4f} vs {row.full_imbalance:.4f}, "
+            f"byte_identical={first == second}"
+        )
+    return entry
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {
+        "bench": "incremental vs full re-partitioning under churn "
+        "(repro experiment churn)",
+        "runs": {},
+    }
+
+
+#: Deterministic per-algorithm metrics gated exactly against the baseline.
+GATED_METRICS = (
+    "byte_identical",
+    "trace_sha256",
+    "incremental_reassigned",
+    "full_reassigned",
+    "incremental_moved",
+    "full_moved",
+    "incremental_imbalance",
+    "full_imbalance",
+)
+
+
+def _gate_failures(name, recorded, measured):
+    failures = []
+    for metric in GATED_METRICS:
+        if measured[metric] != recorded[metric]:
+            failures.append(
+                f"{name}.{metric}: {measured[metric]!r} != baseline "
+                f"{recorded[metric]!r}"
+            )
+    if not measured["byte_identical"]:
+        failures.append(f"{name}: streaming trace diverged across two runs")
+    if measured["incremental_reassigned"] >= measured["full_reassigned"]:
+        failures.append(
+            f"{name}: incremental placement work "
+            f"{measured['incremental_reassigned']} is not strictly below "
+            f"full re-partitioning's {measured['full_reassigned']}"
+        )
+    return failures
+
+
+def check(scale):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale)
+    failures = []
+    for name, measured in sorted(entry["algorithms"].items()):
+        recorded = baseline["algorithms"].get(name)
+        if recorded is None:
+            failures.append(f"{name}: no baseline entry")
+            continue
+        failures.extend(_gate_failures(name, recorded, measured))
+    if baseline["stream"]["fingerprint"] != entry["stream"]["fingerprint"]:
+        failures.append(
+            "stream fingerprint drifted: the generator no longer "
+            "reproduces the recorded stream from the same seed"
+        )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(
+        f"check passed at scale {scale}: traces byte-identical, "
+        "incremental work strictly below full re-partitioning for every "
+        "algorithm"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="performance-model scale for the cluster")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale))
+
+    entry = run_bench(args.scale)
+    for name, measured in sorted(entry["algorithms"].items()):
+        if measured["incremental_reassigned"] >= measured["full_reassigned"]:
+            print(
+                f"warning: {name} incremental work is not below full "
+                "re-partitioning (acceptance floor)",
+                file=sys.stderr,
+            )
+    doc = load_doc()
+    doc.setdefault("runs", {})[str(args.scale)] = entry
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the streaming golden fixtures under ``tests/golden/``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/regen_streaming_golden.py
+
+The recipe (graph, cluster, partitioner, weights, mutation stream, halo)
+lives in :mod:`repro.testing` so this script and
+``tests/streaming/test_streaming_golden.py`` can never disagree about
+what "the golden streaming run" is.
+
+Only run this after an *intentional* change to streaming or engine
+semantics, and say so in the commit message — the fixtures exist so
+accidental drift fails the suite loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.testing import (  # noqa: E402
+    GOLDEN_APPS,
+    golden_graph,
+    golden_streaming_result,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    graph = golden_graph()
+    for app in GOLDEN_APPS:
+        result = golden_streaming_result(app, graph=graph)
+        path = GOLDEN_DIR / f"streaming_{app}.trace.json"
+        path.write_text(result.trace_json() + "\n")
+        print(
+            f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
+            f"({result.num_epochs} epochs, "
+            f"{result.total_reassigned_edges} reassigned edges)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

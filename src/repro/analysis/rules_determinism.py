@@ -262,6 +262,7 @@ class UnorderedIterationRule:
         "repro.service",
         "repro.federation",
         "repro.store",
+        "repro.streaming",
     )
 
     _VIEWS = frozenset({"items", "keys", "values"})

@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the library's main entry points without writing code:
+Eleven commands cover the library's main entry points without writing
+code:
 
 * ``generate``  — produce a synthetic power-law graph or a Table II
   stand-in and write it to disk (edge list or ``.npz``).
@@ -12,6 +13,13 @@ Ten commands cover the library's main entry points without writing code:
   crashes recover from checkpoints, persistent stragglers trigger a
   mid-run re-balance.  With ``--obs-dir`` the run records spans, metrics,
   the execution trace and the invocation config into a run directory.
+  With ``--mutations`` the run becomes a streaming deployment: mutation
+  batches land between supersteps on the simulated clock and the
+  incremental partitioner repairs the placement per batch (DESIGN.md
+  §16).
+* ``stream``    — generate a seeded churn/growth/burst mutation stream
+  for a graph and save it as versioned JSON (replay with
+  ``process --mutations``), or describe an existing stream file.
 * ``faults``    — sample a deterministic fault scenario from seeded rates
   and save/inspect it for replay with ``process --fault-schedule``; with
   ``--shards`` it samples a federation *shard-outage* schedule instead
@@ -300,6 +308,14 @@ def cmd_process(args) -> int:
     graph = _load_graph(args)
     estimator = _make_estimator(args.policy, args.scale)
 
+    if args.mutations and args.fault_schedule:
+        print(
+            "error: --mutations cannot be combined with --fault-schedule "
+            "(streaming runs are priced fault-free)",
+            file=sys.stderr,
+        )
+        return 2
+
     observer = None
     observed = nullcontext()
     if args.obs_dir:
@@ -307,6 +323,9 @@ def cmd_process(args) -> int:
 
         observer = Observer()
         observed = enabled(observer)
+
+    if args.mutations:
+        return _process_streaming(args, cluster, graph, estimator, observer, observed)
 
     with _store_attached(args), observed:
         if args.fault_schedule:
@@ -386,6 +405,158 @@ def cmd_process(args) -> int:
             trace=outcome.trace,
         )
         print(f"observability : {args.obs_dir}")
+    return 0
+
+
+def _process_streaming(args, cluster, graph, estimator, observer, observed) -> int:
+    """``process --mutations``: run the app as a streaming deployment."""
+    from repro.apps.registry import make_app
+    from repro.errors import StreamError
+    from repro.partition import make_partitioner
+    from repro.partition.metrics import weighted_imbalance
+    from repro.streaming import MutationStream, StreamingSystem
+    from repro.utils.tables import format_table
+
+    try:
+        stream = MutationStream.load(args.mutations)
+    except StreamError as exc:
+        print(f"error: mutation stream {args.mutations}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read mutation stream: {exc}", file=sys.stderr)
+        return 2
+
+    application = make_app(args.app)
+    with _store_attached(args), observed:
+        weights = estimator.weights(cluster, application.name, graph)
+        system = StreamingSystem(cluster, halo=args.halo)
+        try:
+            result = system.run(
+                application,
+                graph,
+                stream,
+                make_partitioner(args.partitioner),
+                weights=weights,
+            )
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    rows = []
+    for e in result.epochs:
+        if e.update is None:
+            affected = reassigned = moved = "-"
+        else:
+            affected = e.update.affected_vertices
+            reassigned = e.update.reassigned_edges
+            moved = e.update.moved_edges
+        rows.append(
+            (
+                e.epoch,
+                e.partition.graph.num_edges,
+                f"{weighted_imbalance(e.partition):.4f}",
+                f"{e.report.runtime_seconds * 1e3:.3f}",
+                affected,
+                reassigned,
+                moved,
+            )
+        )
+    print(
+        format_table(
+            headers=(
+                "epoch", "edges", "imbalance", "runtime (ms)",
+                "affected V", "reassigned E", "moved E",
+            ),
+            rows=rows,
+            title=(
+                f"streaming run: {result.app} / {result.algorithm} "
+                f"(halo {result.halo}, {stream.num_batches} batch(es))"
+            ),
+        )
+    )
+    print(f"total runtime    : {result.total_runtime_seconds * 1e3:.3f} ms")
+    print(f"reassigned edges : {result.total_reassigned_edges}")
+    print(f"moved edges      : {result.total_moved_edges}")
+    if args.stream_out:
+        with open(args.stream_out, "w", encoding="utf-8") as fh:
+            fh.write(result.trace_json() + "\n")
+        print(f"streaming trace written to {args.stream_out}")
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        write_run_artifacts(
+            observer, args.obs_dir, config=_obs_config(args), trace=result
+        )
+        print(f"observability : {args.obs_dir}")
+    return 0
+
+
+def cmd_stream(args) -> int:
+    """Generate or describe a mutation-stream file (``repro stream``)."""
+    from repro.errors import StreamError
+    from repro.streaming import MutationStream, generate_stream
+    from repro.utils.tables import format_table
+
+    if args.input:
+        if args.output or args.dataset or args.graph_file:
+            print(
+                "error: --input (describe mode) cannot be combined with "
+                "generation options",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            stream = MutationStream.load(args.input)
+        except StreamError as exc:
+            print(f"error: mutation stream {args.input}: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read mutation stream: {exc}", file=sys.stderr)
+            return 2
+        source = args.input
+    else:
+        if not args.output:
+            print(
+                "error: provide --output (generate mode) or --input "
+                "(describe mode)",
+                file=sys.stderr,
+            )
+            return 2
+        graph = _load_graph(args)
+        try:
+            stream = generate_stream(
+                graph,
+                pattern=args.pattern,
+                num_batches=args.batches,
+                ops_per_batch=args.ops,
+                seed=args.seed,
+                burst_every=args.burst_every,
+                burst_scale=args.burst_scale,
+            )
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        stream.save(args.output)
+        source = args.output
+
+    base = (
+        f"{stream.base_vertices} base vertices"
+        if stream.base_vertices is not None
+        else "unpinned base"
+    )
+    print(
+        format_table(
+            headers=("batch", "op", "detail"),
+            rows=list(stream.describe()),
+            title=(
+                f"mutation stream {source}: {stream.num_batches} batch(es), "
+                f"{stream.num_ops} op(s), {base}"
+            ),
+        )
+    )
+    print(f"fingerprint : {stream.fingerprint()}")
+    if not args.input:
+        print(f"stream saved to {args.output}")
     return 0
 
 
@@ -889,7 +1060,11 @@ _EXPERIMENTS = {
     "fig10b": ("repro.experiments.fig10", "run_case3", True),
     "fig11": ("repro.experiments.fig11", "run_fig11", True),
     "service_demo": ("repro.experiments.service_demo", "run_service_demo", True),
+    "churn": ("repro.experiments.churn", "run_churn", True),
 }
+
+#: Experiments that accept a ``mutations=`` stream override.
+_MUTATION_EXPERIMENTS = ("churn",)
 
 
 def cmd_experiment(args) -> int:
@@ -901,6 +1076,32 @@ def cmd_experiment(args) -> int:
     module_name, func_name, takes_scale = _EXPERIMENTS[args.name]
     func = getattr(importlib.import_module(module_name), func_name)
 
+    kwargs = {}
+    if takes_scale:
+        kwargs["scale"] = args.scale
+    if getattr(args, "mutations", None):
+        if args.name not in _MUTATION_EXPERIMENTS:
+            print(
+                f"error: --mutations only applies to "
+                f"{', '.join(_MUTATION_EXPERIMENTS)} (got {args.name!r})",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.errors import StreamError
+        from repro.streaming import MutationStream
+
+        try:
+            kwargs["mutations"] = MutationStream.load(args.mutations)
+        except StreamError as exc:
+            print(
+                f"error: mutation stream {args.mutations}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read mutation stream: {exc}", file=sys.stderr)
+            return 2
+
     observer = None
     observed = nullcontext()
     if args.obs_dir:
@@ -910,7 +1111,7 @@ def cmd_experiment(args) -> int:
         observed = enabled(observer)
 
     with _store_attached(args), observed:
-        result = func(scale=args.scale) if takes_scale else func()
+        result = func(**kwargs)
     rows = result.rows()
     headers = (
         result.headers()
@@ -1216,6 +1417,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSON fault scenario to inject (see the "
                       "`faults` command); prices the run through the "
                       "resilient runtime")
+    proc.add_argument("--mutations",
+                      help="mutation stream JSON (see the `stream` "
+                      "command); runs the app as a streaming deployment "
+                      "with incremental re-partitioning per batch")
+    proc.add_argument("--halo", type=_positive_int, default=1,
+                      help="boundary-expansion radius of the incremental "
+                      "partitioner (with --mutations)")
+    proc.add_argument("--stream-out",
+                      help="write the byte-reproducible streaming trace "
+                      "JSON here (with --mutations)")
     proc.add_argument("--checkpoint-interval", type=int, default=10,
                       help="supersteps between checkpoints under faults "
                       "(0 disables)")
@@ -1234,6 +1445,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="summary store sqlite path (see `repro gen`); "
                       "warm rows are reused, new results are persisted")
     proc.set_defaults(func=cmd_process)
+
+    stm = sub.add_parser(
+        "stream", help="generate or describe a seeded graph-mutation "
+        "stream (replay with `process --mutations`)"
+    )
+    stm.add_argument("--dataset", help="Table II dataset name")
+    stm.add_argument("--graph-file", help="edge list or .npz path")
+    stm.add_argument("--scale", type=_model_scale, default=0.01)
+    stm.add_argument("--pattern", default="churn",
+                     choices=("churn", "growth", "burst"),
+                     help="mutation mix: steady churn, net growth, or "
+                     "bursty churn spikes")
+    stm.add_argument("--batches", type=_positive_int, default=8,
+                     help="mutation batches (one epoch boundary each)")
+    stm.add_argument("--ops", type=_positive_int, default=16,
+                     help="operations per batch (burst pattern spikes "
+                     "this every --burst-every batches)")
+    stm.add_argument("--seed", type=int, default=0)
+    stm.add_argument("--burst-every", type=_positive_int, default=4,
+                     help="burst pattern: spike every Nth batch")
+    stm.add_argument("--burst-scale", type=_positive_int, default=3,
+                     help="burst pattern: spike size multiplier")
+    stm.add_argument("--output", help="write the stream JSON here "
+                     "(generate mode)")
+    stm.add_argument("--input", help="describe an existing stream file "
+                     "instead of generating")
+    stm.set_defaults(func=cmd_stream)
 
     flt = sub.add_parser(
         "faults", help="sample a deterministic fault scenario "
@@ -1397,6 +1635,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--scale", type=_model_scale, default=0.01)
+    exp.add_argument("--mutations",
+                     help="mutation stream JSON for the churn experiment "
+                     "(default: a generated churn stream)")
     exp.add_argument("--obs-dir",
                      help="record the experiment's spans + metrics + "
                      "provenance into this run directory")
@@ -1493,11 +1734,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.kernels.backend import set_backend
 
         set_backend(backend)
-    from repro.errors import StoreError
+    from repro.errors import StoreError, StreamError
 
     try:
         return args.func(args)
-    except StoreError as exc:
+    except (StoreError, StreamError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

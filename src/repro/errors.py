@@ -18,6 +18,8 @@ __all__ = [
     "ConvergenceError",
     "FaultError",
     "RecoveryError",
+    "StreamError",
+    "StreamFormatError",
     "ServiceError",
     "WorkloadFormatError",
     "DeadlineExceeded",
@@ -77,6 +79,23 @@ class RecoveryError(FaultError):
     Raised by the resilient pricing path when a machine keeps crashing past
     the retry policy's bound; the run is declared failed rather than being
     replayed forever.
+    """
+
+
+class StreamError(ReproError):
+    """Invalid graph-mutation stream or streaming-run request.
+
+    Raised when a mutation references a vertex the graph does not have (or
+    one that has been removed), when an edge removal targets a missing
+    edge, or when an incremental partitioner is driven out of protocol.
+    """
+
+
+class StreamFormatError(StreamError):
+    """Malformed or unsupported on-disk mutation-stream data.
+
+    Streams carry a ``format_version``; files written by other versions
+    are rejected with this error, never reinterpreted.
     """
 
 

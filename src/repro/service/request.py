@@ -19,10 +19,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.errors import FaultError, WorkloadFormatError
+from repro.errors import FaultError, StreamError, WorkloadFormatError
 from repro.faults.schedule import FaultSchedule
 from repro.faults.shards import ShardFaultSchedule
 from repro.graph.digraph import DiGraph
+from repro.streaming.mutations import MutationStream
 
 __all__ = [
     "WORKLOAD_FORMAT_VERSION",
@@ -42,9 +43,12 @@ __all__ = [
 #: Current workload format.  Version 2 adds the optional top-level
 #: ``shard_faults`` block (a federation shard-fault schedule embedded in
 #: the workload, so one file pins a whole federated chaos replay);
-#: version 1 files remain loadable unchanged.
-WORKLOAD_FORMAT_VERSION = 2
-SUPPORTED_FORMAT_VERSIONS: Tuple[int, ...] = (1, 2)
+#: version 3 adds the optional per-job ``graph.mutations`` block (a
+#: streaming mutation scenario).  Version 1/2 files remain loadable
+#: unchanged; files using newer blocks under an old declared version are
+#: rejected with a located error.
+WORKLOAD_FORMAT_VERSION = 3
+SUPPORTED_FORMAT_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 
 #: Typed job outcomes.  Every submitted job ends in exactly one of these.
 STATUS_COMPLETED = "completed"
@@ -67,6 +71,13 @@ class GraphSpec:
     ``seed``) must be given.  Jobs with equal specs share one loaded graph
     instance inside the service, which is what lets the content-keyed
     kernel caches hit across tenants.
+
+    ``mutations`` (workload format v3) optionally attaches a streaming
+    mutation scenario: the job then runs as a sequence of epochs with the
+    incremental partitioner repairing the placement between them.  The
+    stream is validated against the base graph — synthetic specs validate
+    at construction, dataset specs at admission — and a stream
+    referencing unknown vertex ids is rejected with a located error.
     """
 
     dataset: Optional[str] = None
@@ -74,6 +85,7 @@ class GraphSpec:
     vertices: Optional[int] = None
     alpha: float = 2.1
     seed: int = 0
+    mutations: Optional[MutationStream] = None
 
     def __post_init__(self) -> None:
         if (self.dataset is None) == (self.vertices is None):
@@ -92,12 +104,30 @@ class GraphSpec:
             raise WorkloadFormatError(
                 f"graph alpha must be > 1, got {self.alpha}"
             )
+        if self.mutations is not None:
+            base = (
+                self.vertices
+                if self.vertices is not None
+                else self.mutations.base_vertices
+            )
+            if base is not None:
+                try:
+                    self.mutations.validate_for(base)
+                except StreamError as exc:
+                    raise WorkloadFormatError(
+                        f"invalid mutation stream: {exc}"
+                    ) from exc
 
     def key(self) -> Tuple[Any, ...]:
         """Hashable identity for the service's graph memo."""
+        churn = (
+            self.mutations.fingerprint() if self.mutations is not None else None
+        )
         if self.dataset is not None:
-            return ("dataset", self.dataset, float(self.scale))
-        return ("synthetic", self.vertices, float(self.alpha), self.seed)
+            return ("dataset", self.dataset, float(self.scale), churn)
+        return (
+            "synthetic", self.vertices, float(self.alpha), self.seed, churn
+        )
 
     def load(self) -> DiGraph:
         """Materialise the graph (deterministic for a given spec)."""
@@ -113,24 +143,39 @@ class GraphSpec:
         )
 
     def to_jsonable(self) -> Dict[str, Any]:
+        payload: Dict[str, Any]
         if self.dataset is not None:
-            return {"dataset": self.dataset, "scale": self.scale}
-        return {
-            "vertices": self.vertices,
-            "alpha": self.alpha,
-            "seed": self.seed,
-        }
+            payload = {"dataset": self.dataset, "scale": self.scale}
+        else:
+            payload = {
+                "vertices": self.vertices,
+                "alpha": self.alpha,
+                "seed": self.seed,
+            }
+        if self.mutations is not None:
+            payload["mutations"] = self.mutations.to_jsonable()
+        return payload
 
     @classmethod
     def from_jsonable(cls, payload: Mapping[str, Any]) -> "GraphSpec":
         if not isinstance(payload, Mapping):
             raise WorkloadFormatError("'graph' must be an object")
-        known = {"dataset", "scale", "vertices", "alpha", "seed"}
+        known = {"dataset", "scale", "vertices", "alpha", "seed", "mutations"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise WorkloadFormatError(f"unknown graph spec fields {unknown}")
+        fields = dict(payload)
+        if fields.get("mutations") is not None:
+            try:
+                fields["mutations"] = MutationStream.from_jsonable(
+                    fields["mutations"]
+                )
+            except StreamError as exc:
+                raise WorkloadFormatError(
+                    f"malformed mutation stream: {exc}"
+                ) from exc
         try:
-            return cls(**dict(payload))
+            return cls(**fields)
         except TypeError as exc:
             raise WorkloadFormatError(f"malformed graph spec: {exc}") from exc
 
@@ -273,6 +318,13 @@ class JobRequest:
             raise WorkloadFormatError(
                 "give 'faults' (explicit schedule) or 'fault_rates' "
                 "(seeded rates), not both"
+            )
+        if self.graph.mutations is not None and (
+            self.faults is not None or self.fault_rates is not None
+        ):
+            raise WorkloadFormatError(
+                "jobs with graph 'mutations' cannot also carry fault "
+                "scenarios; streaming runs are priced fault-free"
             )
 
     @property
@@ -506,7 +558,12 @@ class Workload:
         jobs = []
         for i, raw in enumerate(raw_jobs):
             try:
-                jobs.append(JobRequest.from_jsonable(raw))
+                job = JobRequest.from_jsonable(raw)
+                if job.graph.mutations is not None and version < 3:
+                    raise WorkloadFormatError(
+                        "graph 'mutations' requires format_version >= 3"
+                    )
+                jobs.append(job)
             except WorkloadFormatError as exc:
                 raise WorkloadFormatError(f"jobs[{i}]: {exc}") from exc
         try:

@@ -51,7 +51,7 @@ from repro.engine.resilient import (
     ResilientExecutionReport,
     ResilientRuntime,
 )
-from repro.errors import FaultError, RecoveryError, ServiceError
+from repro.errors import FaultError, RecoveryError, ServiceError, StreamError
 from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
 from repro.graph.digraph import DiGraph
 from repro.obs import context as obs
@@ -246,6 +246,9 @@ class JobService:
     monitor:
         Optional :class:`~repro.core.online.OnlineCCRMonitor` receiving
         degradation reports when a run's supervisor fires.
+    stream_halo:
+        Boundary-expansion radius of the incremental partitioner used for
+        jobs carrying a graph mutation stream.
     """
 
     def __init__(
@@ -257,6 +260,7 @@ class JobService:
         checkpoint: Optional[CheckpointPolicy] = None,
         engine_retry: Optional[RetryPolicy] = None,
         monitor: Optional[Any] = None,
+        stream_halo: int = 1,
     ):
         self.cluster = cluster
         self.policy = policy if policy is not None else ServicePolicy()
@@ -268,6 +272,7 @@ class JobService:
         self.checkpoint = checkpoint
         self.engine_retry = engine_retry
         self.monitor = monitor
+        self.stream_halo = int(stream_halo)
         self._graphs: Dict[Tuple[Any, ...], DiGraph] = {}
         self._projections: Dict[Tuple[Any, ...], float] = {}
         self._rng = make_rng(0)
@@ -315,6 +320,15 @@ class JobService:
                 job.faults.validate_for(self.cluster.num_machines)
             except FaultError as exc:
                 return f"invalid fault schedule: {exc}"
+        if job.graph.mutations is not None:
+            # Synthetic specs validate at construction; dataset specs can
+            # only be checked against the materialised graph, here.
+            try:
+                job.graph.mutations.validate_for(
+                    self._graph_for(job).num_vertices
+                )
+            except StreamError as exc:
+                return f"invalid mutation stream: {exc}"
         if len(queue) >= self.policy.max_queue_depth:
             return (
                 f"queue full: depth {len(queue)} at limit "
@@ -438,9 +452,16 @@ class JobService:
             )
             weights = weights * self.board.multipliers()
 
-            record = self._attempt_loop(
-                job, graph, application, weights, start_s, deadline, degraded
-            )
+            if job.graph.mutations is not None:
+                record = self._run_streaming_job(
+                    job, graph, application, weights, start_s, deadline,
+                    degraded,
+                )
+            else:
+                record = self._attempt_loop(
+                    job, graph, application, weights, start_s, deadline,
+                    degraded,
+                )
             span.set(status=record.status, attempts=record.attempts)
             if obs.is_enabled():
                 obs.counter_add(f"service.{record.status}", 1.0)
@@ -451,6 +472,89 @@ class JobService:
                         "service.latency_seconds", record.latency_s
                     )
             return record
+
+    def _run_streaming_job(
+        self,
+        job: JobRequest,
+        graph: DiGraph,
+        application: Any,
+        weights: NDArray[np.float64],
+        start_s: float,
+        deadline: Optional[float],
+        degraded: bool,
+    ) -> JobRecord:
+        """Price one mutation-stream job: epochs of compute plus repairs.
+
+        Streaming jobs are fault-free by construction (rejected earlier
+        otherwise), so there is no attempt loop: the whole stream prices
+        in one pass and the tenant is charged the summed epoch makespans.
+        A deadline overrun mid-stream cancels at the deadline and charges
+        the pro-rated share, mirroring the static-run contract.
+        """
+        from repro.partition import make_partitioner
+        from repro.streaming.runner import StreamingSystem
+
+        assert job.graph.mutations is not None
+        system = StreamingSystem(self.cluster, halo=self.stream_halo)
+        result = system.run(
+            application,
+            graph,
+            job.graph.mutations,
+            make_partitioner(job.partitioner),
+            weights=weights,
+        )
+        runtime_seconds = result.total_runtime_seconds
+        energy = float(sum(e.report.energy_joules for e in result.epochs))
+        supersteps = sum(e.report.num_supersteps for e in result.epochs)
+        # Healthy run: every machine slot contributed to every epoch.
+        self._feed_breakers(None, (), False, start_s + runtime_seconds)
+        if obs.is_enabled():
+            obs.counter_add("service.stream_jobs", 1.0)
+            obs.counter_add(
+                "service.stream_reassigned_edges",
+                float(result.total_reassigned_edges),
+            )
+            obs.counter_add(
+                "service.stream_moved_edges", float(result.total_moved_edges)
+            )
+        finish = start_s + runtime_seconds
+        if deadline is not None and finish > deadline:
+            run_share = max(0.0, deadline - start_s)
+            fraction = (
+                run_share / runtime_seconds if runtime_seconds > 0.0 else 0.0
+            )
+            return JobRecord(
+                job_id=job.job_id,
+                app=job.app,
+                status=STATUS_DEADLINE_EXCEEDED,
+                priority=job.priority,
+                submit_s=job.submit_s,
+                start_s=start_s,
+                end_s=deadline,
+                charged_seconds=run_share,
+                charged_energy_joules=energy * fraction,
+                attempts=1,
+                degraded=degraded,
+                supersteps=supersteps,
+                reason=(
+                    f"stream overran deadline: finish {finish:.6f}s > "
+                    f"deadline {deadline:.6f}s"
+                ),
+            )
+        return JobRecord(
+            job_id=job.job_id,
+            app=job.app,
+            status=STATUS_COMPLETED,
+            priority=job.priority,
+            submit_s=job.submit_s,
+            start_s=start_s,
+            end_s=finish,
+            charged_seconds=runtime_seconds,
+            charged_energy_joules=energy,
+            attempts=1,
+            degraded=degraded,
+            supersteps=supersteps,
+        )
 
     def _attempt_loop(
         self,

@@ -1,0 +1,56 @@
+"""Streaming graph mutations and incremental re-partitioning.
+
+Public surface of the streaming subsystem:
+
+* :mod:`repro.streaming.mutations` — typed mutation ops, batches, the
+  versioned :class:`MutationStream` format, and :func:`apply_batch`;
+* :mod:`repro.streaming.generators` — seeded churn/growth/burst stream
+  generators;
+* :mod:`repro.streaming.incremental` — :class:`IncrementalPartitioner`,
+  which repairs an existing assignment instead of re-running the strategy
+  from scratch;
+* :mod:`repro.streaming.runner` — :class:`StreamingSystem`, executing an
+  application across mutation epochs on the simulated clock.
+"""
+
+from repro.streaming.generators import STREAM_PATTERNS, generate_stream
+from repro.streaming.incremental import IncrementalPartitioner, StreamUpdate
+from repro.streaming.mutations import (
+    STREAM_FORMAT_VERSION,
+    AddEdge,
+    AddVertices,
+    ApplyResult,
+    Mutation,
+    MutationBatch,
+    MutationStream,
+    RemoveEdge,
+    RemoveVertex,
+    ReviveVertex,
+    apply_batch,
+)
+from repro.streaming.runner import (
+    EpochOutcome,
+    StreamingResult,
+    StreamingSystem,
+)
+
+__all__ = [
+    "STREAM_FORMAT_VERSION",
+    "STREAM_PATTERNS",
+    "AddVertices",
+    "RemoveVertex",
+    "ReviveVertex",
+    "AddEdge",
+    "RemoveEdge",
+    "Mutation",
+    "MutationBatch",
+    "MutationStream",
+    "ApplyResult",
+    "apply_batch",
+    "generate_stream",
+    "IncrementalPartitioner",
+    "StreamUpdate",
+    "EpochOutcome",
+    "StreamingResult",
+    "StreamingSystem",
+]

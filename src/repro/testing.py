@@ -34,6 +34,13 @@ __all__ = [
     "golden_cluster",
     "golden_run",
     "golden_trace",
+    "GOLDEN_STREAM_PATTERN",
+    "GOLDEN_STREAM_BATCHES",
+    "GOLDEN_STREAM_OPS",
+    "GOLDEN_STREAM_SEED",
+    "GOLDEN_STREAM_HALO",
+    "golden_stream",
+    "golden_streaming_result",
 ]
 
 #: The four paper applications, in evaluation order.
@@ -88,3 +95,45 @@ def golden_run(app_name: str, graph: DiGraph = None) -> RunOutcome:
 def golden_trace(app_name: str, graph: DiGraph = None) -> ExecutionTrace:
     """The reference :class:`ExecutionTrace` for one application."""
     return golden_run(app_name, graph=graph).trace
+
+
+#: Golden mutation-stream recipe (streaming regression fixtures).
+GOLDEN_STREAM_PATTERN = "churn"
+GOLDEN_STREAM_BATCHES = 4
+GOLDEN_STREAM_OPS = 8
+GOLDEN_STREAM_SEED = 42
+GOLDEN_STREAM_HALO = 1
+
+
+def golden_stream(graph: DiGraph = None):
+    """The fixed seeded mutation stream of the streaming golden runs."""
+    from repro.streaming import generate_stream
+
+    if graph is None:
+        graph = golden_graph()
+    return generate_stream(
+        graph,
+        pattern=GOLDEN_STREAM_PATTERN,
+        num_batches=GOLDEN_STREAM_BATCHES,
+        ops_per_batch=GOLDEN_STREAM_OPS,
+        seed=GOLDEN_STREAM_SEED,
+    )
+
+
+def golden_streaming_result(app_name: str, graph: DiGraph = None):
+    """One full reference streaming run on the golden configuration."""
+    from repro.streaming import StreamingSystem
+
+    if graph is None:
+        graph = golden_graph()
+    system = StreamingSystem(golden_cluster(), halo=GOLDEN_STREAM_HALO)
+    partitioner = make_partitioner(
+        GOLDEN_PARTITIONER, seed=GOLDEN_PARTITIONER_SEED
+    )
+    return system.run(
+        make_app(app_name),
+        graph,
+        golden_stream(graph),
+        partitioner,
+        weights=GOLDEN_WEIGHTS,
+    )

@@ -1,0 +1,165 @@
+"""CLI exit-path tests for `repro stream` and streaming run flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.streaming import MutationStream
+
+CLUSTER = "m4.2xlarge,c4.2xlarge"
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = str(tmp_path / "g.npz")
+    assert main(["generate", "--vertices", "300", "--seed", "5",
+                 "--output", path]) == 0
+    return path
+
+
+@pytest.fixture
+def stream_file(tmp_path, graph_file):
+    path = str(tmp_path / "stream.json")
+    assert main(["stream", "--graph-file", graph_file, "--batches", "3",
+                 "--ops", "6", "--seed", "11", "--output", path]) == 0
+    return path
+
+
+class TestStreamCommand:
+    def test_generate_writes_loadable_stream(
+        self, tmp_path, graph_file, capsys
+    ):
+        path = str(tmp_path / "fresh.json")
+        capsys.readouterr()
+        assert main(["stream", "--graph-file", graph_file, "--batches", "3",
+                     "--ops", "6", "--seed", "11", "--output", path]) == 0
+        out = capsys.readouterr().out
+        assert "3 batch(es)" in out
+        assert "fingerprint" in out
+        stream = MutationStream.load(path)
+        assert stream.num_batches == 3
+        assert stream.base_vertices == 300
+
+    def test_same_seed_same_file(self, tmp_path, graph_file):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        for path in (a, b):
+            assert main(["stream", "--graph-file", graph_file,
+                         "--seed", "9", "--output", path]) == 0
+        with open(a, encoding="utf-8") as fa, open(b, encoding="utf-8") as fb:
+            assert fa.read() == fb.read()
+
+    def test_describe_mode_prints_table(self, stream_file, capsys):
+        capsys.readouterr()
+        assert main(["stream", "--input", stream_file]) == 0
+        out = capsys.readouterr().out
+        assert "300 base vertices" in out
+        assert "fingerprint" in out
+
+    def test_describe_conflicts_with_generate(self, stream_file, graph_file):
+        assert main(["stream", "--input", stream_file,
+                     "--graph-file", graph_file]) == 2
+
+    def test_requires_output_or_input(self, graph_file):
+        assert main(["stream", "--graph-file", graph_file]) == 2
+
+    def test_malformed_stream_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format_version": 99, "batches": []}))
+        assert main(["stream", "--input", str(bad)]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_missing_stream_file_exits_2(self, tmp_path):
+        assert main(["stream", "--input", str(tmp_path / "nope.json")]) == 2
+
+
+class TestProcessMutations:
+    def test_streaming_run_prints_epoch_table(
+        self, graph_file, stream_file, capsys
+    ):
+        capsys.readouterr()
+        code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file,
+                     "--mutations", stream_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming run: pagerank" in out
+        assert "reassigned edges" in out
+
+    def test_stream_out_is_reproducible(
+        self, tmp_path, graph_file, stream_file
+    ):
+        t1 = str(tmp_path / "t1.json")
+        t2 = str(tmp_path / "t2.json")
+        for path in (t1, t2):
+            assert main(["process", "--cluster", CLUSTER,
+                         "--app", "pagerank", "--graph-file", graph_file,
+                         "--mutations", stream_file,
+                         "--stream-out", path]) == 0
+        with open(t1, encoding="utf-8") as fa, open(t2, encoding="utf-8") as fb:
+            assert fa.read() == fb.read()
+
+    def test_mutations_excludes_fault_schedule(
+        self, graph_file, stream_file, capsys
+    ):
+        code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file, "--mutations", stream_file,
+                     "--fault-schedule", "whatever.json"])
+        assert code == 2
+        assert "fault-free" in capsys.readouterr().err
+
+    def test_wrong_base_graph_exits_2(self, tmp_path, stream_file, capsys):
+        other = str(tmp_path / "other.npz")
+        assert main(["generate", "--vertices", "50", "--seed", "1",
+                     "--output", other]) == 0
+        capsys.readouterr()
+        code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", other, "--mutations", stream_file])
+        assert code == 2
+        assert "300 vertices" in capsys.readouterr().err
+
+    def test_malformed_mutations_file_exits_2(self, tmp_path, graph_file):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file,
+                     "--mutations", str(bad)]) == 2
+
+    def test_obs_artifacts_include_streaming_trace(
+        self, tmp_path, graph_file, stream_file
+    ):
+        obs_dir = str(tmp_path / "obsrun")
+        assert main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file, "--mutations", stream_file,
+                     "--obs-dir", obs_dir]) == 0
+        with open(f"{obs_dir}/trace.json", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["app"] == "pagerank"
+        assert len(doc["epochs"]) == 4
+
+
+class TestExperimentMutations:
+    def test_churn_accepts_stream_file(self, tmp_path, capsys):
+        # The churn experiment's base graph is the 1200-vertex recipe.
+        g = str(tmp_path / "g.npz")
+        assert main(["generate", "--vertices", "1200", "--alpha", "2.1",
+                     "--seed", "1234", "--output", g]) == 0
+        s = str(tmp_path / "s.json")
+        assert main(["stream", "--graph-file", g, "--batches", "2",
+                     "--ops", "4", "--seed", "2", "--output", s]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "churn", "--mutations", s]) == 0
+        out = capsys.readouterr().out
+        assert "work ratio" in out
+
+    def test_mutations_rejected_for_other_experiments(self, tmp_path, capsys):
+        s = tmp_path / "s.json"
+        s.write_text(json.dumps({"format_version": 1, "batches": []}))
+        assert main(["experiment", "table1", "--mutations", str(s)]) == 2
+        assert "only applies" in capsys.readouterr().err
+
+    def test_churn_runs_without_stream(self, capsys):
+        assert main(["experiment", "churn"]) == 0
+        out = capsys.readouterr().out
+        assert "work ratio" in out

@@ -1,0 +1,92 @@
+"""Streaming golden regressions (byte-compared fixtures).
+
+Two contracts are pinned:
+
+* a **zero-mutation** stream degenerates to the ordinary engine run —
+  its epoch-0 trace must be byte-identical to the static golden traces
+  under ``tests/golden/``;
+* the full golden streaming run (graph + cluster + partitioner + stream
+  recipe from :mod:`repro.testing`) reproduces its checked-in
+  ``streaming_<app>.trace.json`` fixture byte-for-byte.
+
+Regenerate after *intentional* semantic changes with
+``scripts/regen_streaming_golden.py`` and say so in the commit message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.streaming import MutationStream, StreamingSystem
+from repro.testing import (
+    GOLDEN_APPS,
+    GOLDEN_PARTITIONER,
+    GOLDEN_PARTITIONER_SEED,
+    GOLDEN_STREAM_HALO,
+    GOLDEN_WEIGHTS,
+    golden_cluster,
+    golden_graph,
+    golden_streaming_result,
+    golden_trace,
+)
+from repro.apps.registry import make_app
+from repro.partition import make_partitioner
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return golden_graph()
+
+
+class TestZeroMutationIdentity:
+    @pytest.mark.parametrize("app_name", GOLDEN_APPS)
+    def test_epoch0_trace_matches_static_golden(self, graph, app_name):
+        system = StreamingSystem(golden_cluster(), halo=GOLDEN_STREAM_HALO)
+        result = system.run(
+            make_app(app_name),
+            graph,
+            MutationStream(),
+            make_partitioner(GOLDEN_PARTITIONER, seed=GOLDEN_PARTITIONER_SEED),
+            weights=GOLDEN_WEIGHTS,
+        )
+        assert result.num_epochs == 1
+        fixture = (GOLDEN_DIR / f"{app_name}.trace.json").read_text()
+        assert result.epochs[0].trace.canonical_json() + "\n" == fixture
+
+    def test_zero_mutation_totals_are_static_run(self, graph):
+        system = StreamingSystem(golden_cluster(), halo=GOLDEN_STREAM_HALO)
+        result = system.run(
+            make_app("pagerank"),
+            graph,
+            MutationStream(),
+            make_partitioner(GOLDEN_PARTITIONER, seed=GOLDEN_PARTITIONER_SEED),
+            weights=GOLDEN_WEIGHTS,
+        )
+        assert result.total_reassigned_edges == 0
+        assert result.total_moved_edges == 0
+        assert result.total_runtime_seconds == pytest.approx(
+            result.epochs[0].report.runtime_seconds
+        )
+
+
+class TestStreamingGoldenFixtures:
+    @pytest.mark.parametrize("app_name", GOLDEN_APPS)
+    def test_streaming_trace_matches_fixture(self, graph, app_name):
+        result = golden_streaming_result(app_name, graph=graph)
+        fixture = (
+            GOLDEN_DIR / f"streaming_{app_name}.trace.json"
+        ).read_text()
+        assert result.trace_json() + "\n" == fixture
+
+    def test_fixture_is_wellformed_versioned_json(self):
+        doc = json.loads(
+            (GOLDEN_DIR / "streaming_pagerank.trace.json").read_text()
+        )
+        assert doc["format_version"] == 1
+        assert len(doc["epochs"]) == doc["epochs"][-1]["epoch"] + 1
+        for epoch in doc["epochs"][1:]:
+            assert "reassigned_edges" in epoch
+            assert "moved_edges" in epoch

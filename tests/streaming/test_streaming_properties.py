@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on mutation-stream invariants.
+
+Mirrors the style of ``tests/test_properties_hypothesis.py``: randomised
+sweeps over the streaming layer's load-bearing contracts — generator
+determinism, liveness/dangling-edge invariants under application, the
+inversion round-trip, and JSON serialisation.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.powerlaw.generator import generate_power_law_graph
+from repro.streaming import (
+    MutationStream,
+    apply_batch,
+    generate_stream,
+)
+
+patterns = st.sampled_from(("churn", "growth", "burst"))
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+batch_counts = st.integers(min_value=1, max_value=6)
+op_counts = st.integers(min_value=1, max_value=12)
+
+
+def base_graph(seed):
+    return generate_power_law_graph(
+        num_vertices=60 + (seed % 5) * 17, alpha=2.1, seed=seed % 97
+    )
+
+
+def edge_multiset(graph):
+    src, dst = graph.edges()
+    return sorted(zip(src.tolist(), dst.tolist()))
+
+
+class TestGeneratorProperties:
+    @given(patterns, seeds, batch_counts, op_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_stream(self, pattern, seed, batches, ops):
+        graph = base_graph(seed)
+        a = generate_stream(
+            graph, pattern=pattern, num_batches=batches,
+            ops_per_batch=ops, seed=seed,
+        )
+        b = generate_stream(
+            graph, pattern=pattern, num_batches=batches,
+            ops_per_batch=ops, seed=seed,
+        )
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    @given(patterns, seeds, batch_counts, op_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_generated_streams_validate_and_apply(
+        self, pattern, seed, batches, ops
+    ):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=batches,
+            ops_per_batch=ops, seed=seed,
+        )
+        assert stream.num_batches == batches
+        assert stream.base_vertices == graph.num_vertices
+        stream.validate_for(graph.num_vertices)
+        for _ in stream.replay(graph):
+            pass  # every batch must apply cleanly
+
+
+class TestApplicationInvariants:
+    @given(patterns, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_no_dangling_edges_after_any_batch(self, pattern, seed):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=4, ops_per_batch=10, seed=seed
+        )
+        for result in stream.replay(graph):
+            src, dst = result.graph.edges()
+            # Every endpoint of every surviving edge is live.
+            assert result.live[src].all()
+            assert result.live[dst].all()
+            # edge_origin maps surviving edges back to identical endpoints.
+            assert result.edge_origin.shape == (result.graph.num_edges,)
+
+    @given(patterns, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_batch_application_is_deterministic(self, pattern, seed):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=3, ops_per_batch=8, seed=seed
+        )
+        first = [edge_multiset(r.graph) for r in stream.replay(graph)]
+        second = [edge_multiset(r.graph) for r in stream.replay(graph)]
+        assert first == second
+
+    @given(patterns, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_round_trips_edges_and_liveness(self, pattern, seed):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=1, ops_per_batch=12, seed=seed
+        )
+        result = apply_batch(graph, stream.batches[0])
+        restored = apply_batch(result.graph, result.inverse, live=result.live)
+        assert edge_multiset(restored.graph) == edge_multiset(graph)
+        # All original ids live again; any appended ids are tombstoned.
+        assert restored.live[: graph.num_vertices].all()
+        assert not restored.live[graph.num_vertices:].any()
+
+    @given(patterns, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_edge_origin_preserves_endpoints(self, pattern, seed):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=2, ops_per_batch=10, seed=seed
+        )
+        src0, dst0 = graph.edges()
+        current = graph
+        for result in stream.replay(graph):
+            src, dst = result.graph.edges()
+            prev_src, prev_dst = current.edges()
+            surviving = result.edge_origin >= 0
+            origin = result.edge_origin[surviving]
+            np.testing.assert_array_equal(src[surviving], prev_src[origin])
+            np.testing.assert_array_equal(dst[surviving], prev_dst[origin])
+            current = result.graph
+
+
+class TestJsonProperties:
+    @given(patterns, seeds, batch_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_is_identity(self, pattern, seed, batches):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=batches,
+            ops_per_batch=6, seed=seed,
+        )
+        assert MutationStream.from_json(stream.to_json()) == stream
+
+    @given(patterns, seeds, batch_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_fingerprint_survives_round_trip(self, pattern, seed, batches):
+        graph = base_graph(seed)
+        stream = generate_stream(
+            graph, pattern=pattern, num_batches=batches,
+            ops_per_batch=6, seed=seed,
+        )
+        round_tripped = MutationStream.from_json(stream.to_json())
+        assert round_tripped.fingerprint() == stream.fingerprint()

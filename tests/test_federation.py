@@ -200,7 +200,9 @@ class TestWorkloadFormatV2:
             ),
         )
         text = workload.to_json()
-        assert json.loads(text)["format_version"] == 2
+        # Current version (v3 added graph mutations); shard_faults only
+        # needs >= 2 and older files still load.
+        assert json.loads(text)["format_version"] == 3
         again = Workload.from_json(text)
         assert again == workload
         assert again.shard_faults is not None
@@ -237,7 +239,7 @@ class TestWorkloadFormatV2:
             Workload.from_json(text)
 
     def test_unsupported_version_named(self):
-        with pytest.raises(WorkloadFormatError, match=r"\[1, 2\]"):
+        with pytest.raises(WorkloadFormatError, match=r"\[1, 2, 3\]"):
             Workload.from_json('{"format_version": 9, "jobs": []}')
 
     def test_malformed_shard_faults_located(self):
