@@ -1,0 +1,276 @@
+"""Benchmark fault-tolerant streaming recovery (BENCH_PR10.json).
+
+Not part of the library — run from the repo root:
+
+    PYTHONPATH=src python scripts/bench_streaming_faults.py --scale 0.01
+
+Two measurements per scale:
+
+* **Checkpoint cadence sweep** (`repro experiment churn_faults` setup):
+  one seeded crash strikes mid-stream while the checkpoint interval
+  varies, including the interval-0 restart-from-scratch baseline.
+  Records, per cadence: snapshots taken, epochs replayed, the
+  snapshot/replay/overhead bill, and whether the recovered trace is
+  byte-identical to the undisturbed run.
+* **Federated failover soak** (the golden 3-shard scenario from
+  ``tests/streaming/test_streaming_federation.py``): a seeded shard
+  crash lands dead-centre in the stream job's occupancy window; the
+  stream must fail over in ring order and finish byte-identical to the
+  fault-free federation, twice in a row.
+
+Everything recorded is deterministic, so ``--check`` holds the metrics
+to the checked-in baseline exactly.  Two invariants are gated
+unconditionally (they are the PR's acceptance floor, not just drift
+guards):
+
+* the recovered trace must be byte-identical to the undisturbed trace
+  at *every* checkpoint cadence and through the federated failover;
+* two disturbed federated runs must agree byte-for-byte.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR10.json")
+
+#: Kept in lockstep with repro.experiments.churn_faults defaults so the
+#: bench gates the experiment.
+INTERVALS = (0, 1, 2, 4)
+ALGORITHM = "hybrid"
+APP = "pagerank"
+SEED = 9
+
+
+def _sha(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _cadence_entry(scale):
+    from repro.experiments.churn_faults import run_churn_faults
+
+    started = time.perf_counter()  # repro: allow[DET001]
+    result = run_churn_faults(
+        scale=scale, app=APP, algorithm=ALGORITHM, intervals=INTERVALS,
+        seed=SEED,
+    )
+    wall = time.perf_counter() - started  # repro: allow[DET001]
+
+    cadences = {}
+    for row in result.rows_list:
+        cadences[str(row.interval)] = {
+            "checkpoints_taken": row.checkpoints_taken,
+            "crashes": row.crashes,
+            "replayed_epochs": row.replayed_epochs,
+            "checkpoint_seconds": round(row.checkpoint_seconds, 6),
+            "replay_seconds": round(row.replay_seconds, 6),
+            "overhead_seconds": round(row.overhead_seconds, 6),
+            "trace_identical": row.trace_identical,
+        }
+        print(
+            f"interval {row.interval}: {row.checkpoints_taken} snapshot(s), "
+            f"{row.replayed_epochs} epoch(s) replayed, overhead "
+            f"{row.overhead_seconds * 1e3:.3f} ms, "
+            f"trace_identical={row.trace_identical}"
+        )
+    return {
+        "app": APP,
+        "algorithm": ALGORITHM,
+        "seed": SEED,
+        "wall_seconds": round(wall, 3),
+        "cadences": cadences,
+    }
+
+
+def _federated_stream_trace(shard_faults=None):
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.federation import FederationService
+    from repro.streaming import CheckpointCustody
+    from repro.testing import (
+        GOLDEN_FED_STREAM_JOB,
+        golden_federated_stream_workload,
+        golden_federation_clusters,
+    )
+
+    service = FederationService(
+        golden_federation_clusters(),
+        custody=CheckpointCustody(),
+        stream_checkpoint=CheckpointPolicy(interval=1),
+    )
+    result = service.run_workload(
+        golden_federated_stream_workload(), shard_faults=shard_faults
+    )
+    for shard in service.shards:
+        trace = shard.service.stream_traces.get(GOLDEN_FED_STREAM_JOB)
+        if trace is not None:
+            return result, trace
+    raise AssertionError("federated run finished without a stream trace")
+
+
+def _failover_entry():
+    from repro.faults import ShardCrash, ShardFaultSchedule
+    from repro.testing import GOLDEN_FED_STREAM_JOB
+
+    clean_result, clean_trace = _federated_stream_trace()
+    record = next(
+        r for r in clean_result.records if r.job_id == GOLDEN_FED_STREAM_JOB
+    )
+    owner = dict(clean_result.placements)[GOLDEN_FED_STREAM_JOB]
+    mid = record.start_s + 0.5 * (record.end_s - record.start_s)
+    faults = ShardFaultSchedule(
+        crashes=(ShardCrash(time_s=mid, shard=owner, downtime_s=5.0),)
+    )
+    first_result, first_trace = _federated_stream_trace(shard_faults=faults)
+    _, second_trace = _federated_stream_trace(shard_faults=faults)
+
+    entry = {
+        "crashed_shard": owner,
+        "shard_crashes": first_result.shard_crashes,
+        "failovers": first_result.failovers,
+        "clean_trace_sha256": _sha(clean_trace),
+        "recovered_trace_sha256": _sha(first_trace),
+        "recovered_matches_clean": first_trace == clean_trace,
+        "replays_byte_identical": first_trace == second_trace,
+    }
+    print(
+        f"failover: shard {owner} crashed, {first_result.failovers} "
+        f"failover(s), recovered_matches_clean="
+        f"{entry['recovered_matches_clean']}, replays_byte_identical="
+        f"{entry['replays_byte_identical']}"
+    )
+    return entry
+
+
+def run_bench(scale):
+    return {
+        "cadence_sweep": _cadence_entry(scale),
+        "federated_failover": _failover_entry(),
+    }
+
+
+def load_doc():
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {
+        "bench": "fault-tolerant streaming: checkpoint cadence recovery "
+        "bill and federated mid-stream failover",
+        "runs": {},
+    }
+
+
+#: Deterministic per-cadence metrics gated exactly against the baseline.
+GATED_CADENCE_METRICS = (
+    "checkpoints_taken",
+    "crashes",
+    "replayed_epochs",
+    "checkpoint_seconds",
+    "replay_seconds",
+    "overhead_seconds",
+    "trace_identical",
+)
+
+#: Deterministic failover metrics gated exactly against the baseline.
+GATED_FAILOVER_METRICS = (
+    "crashed_shard",
+    "shard_crashes",
+    "failovers",
+    "clean_trace_sha256",
+    "recovered_trace_sha256",
+    "recovered_matches_clean",
+    "replays_byte_identical",
+)
+
+
+def _gate_failures(entry, baseline):
+    failures = []
+    recorded_cadences = baseline["cadence_sweep"]["cadences"]
+    for interval, measured in sorted(entry["cadence_sweep"]["cadences"].items()):
+        recorded = recorded_cadences.get(interval)
+        if recorded is None:
+            failures.append(f"interval {interval}: no baseline entry")
+            continue
+        for metric in GATED_CADENCE_METRICS:
+            if measured[metric] != recorded[metric]:
+                failures.append(
+                    f"interval {interval}.{metric}: {measured[metric]!r} "
+                    f"!= baseline {recorded[metric]!r}"
+                )
+        if not measured["trace_identical"]:
+            failures.append(
+                f"interval {interval}: recovered trace diverged from the "
+                f"undisturbed run"
+            )
+    measured = entry["federated_failover"]
+    recorded = baseline["federated_failover"]
+    for metric in GATED_FAILOVER_METRICS:
+        if measured[metric] != recorded[metric]:
+            failures.append(
+                f"failover.{metric}: {measured[metric]!r} != baseline "
+                f"{recorded[metric]!r}"
+            )
+    if not measured["recovered_matches_clean"]:
+        failures.append(
+            "failover: recovered federated trace diverged from the "
+            "fault-free federation"
+        )
+    if not measured["replays_byte_identical"]:
+        failures.append(
+            "failover: two disturbed federated replays disagreed"
+        )
+    return failures
+
+
+def check(scale):
+    doc = load_doc()
+    baseline = doc.get("runs", {}).get(str(scale))
+    if baseline is None:
+        print(f"check error: no baseline for scale {scale} in {OUTPUT}",
+              file=sys.stderr)
+        return 2
+    entry = run_bench(scale)
+    failures = _gate_failures(entry, baseline)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(
+        f"check passed at scale {scale}: recovery byte-identical at every "
+        "cadence and through the federated failover"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="performance-model scale for the cluster")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded baseline at "
+                        "this scale instead of updating it")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args.scale))
+
+    entry = run_bench(args.scale)
+    if not all(
+        c["trace_identical"]
+        for c in entry["cadence_sweep"]["cadences"].values()
+    ):
+        print("warning: a cadence produced a divergent recovered trace "
+              "(acceptance floor)", file=sys.stderr)
+    doc = load_doc()
+    doc.setdefault("runs", {})[str(args.scale)] = entry
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ sys.path.insert(
 
 from repro.testing import (  # noqa: E402
     GOLDEN_APPS,
+    golden_federated_stream_trace,
     golden_graph,
     golden_streaming_result,
 )
@@ -45,6 +46,9 @@ def main() -> int:
             f"({result.num_epochs} epochs, "
             f"{result.total_reassigned_edges} reassigned edges)"
         )
+    fed_path = GOLDEN_DIR / "federated_stream_pagerank.trace.json"
+    fed_path.write_text(golden_federated_stream_trace() + "\n")
+    print(f"wrote {fed_path.relative_to(GOLDEN_DIR.parent.parent)}")
     return 0
 
 

@@ -16,7 +16,11 @@ code:
   With ``--mutations`` the run becomes a streaming deployment: mutation
   batches land between supersteps on the simulated clock and the
   incremental partitioner repairs the placement per batch (DESIGN.md
-  §16).
+  §16).  Combining ``--mutations`` with ``--fault-schedule`` (crash
+  faults only) and/or ``--checkpoint-every`` prices the stream through
+  the resilient streaming runtime: epochs checkpoint on a durable
+  cadence and injected crashes replay from the last snapshot without
+  perturbing the trace bytes (DESIGN.md §17).
 * ``stream``    — generate a seeded churn/growth/burst mutation stream
   for a graph and save it as versioned JSON (replay with
   ``process --mutations``), or describe an existing stream file.
@@ -33,7 +37,11 @@ code:
   load shedding over the resilient runtime (DESIGN.md §12).  With
   ``--shards N`` the replay runs across N scheduler shards behind a
   consistent-hash ring with failover, work stealing, journaled crash
-  recovery and shard-fault injection (DESIGN.md §13).  Malformed
+  recovery and shard-fault injection (DESIGN.md §13).  With
+  ``--checkpoint-every N`` mutation-stream jobs checkpoint through a
+  shared custody every N epochs, so a shard crash mid-stream fails the
+  stream over to the next ring shard and resumes from the last durable
+  snapshot (DESIGN.md §17).  Malformed
   workload files exit 2 with the offending ``jobs[i]`` record named.
 * ``metrics``   — summarize one ``--obs-dir`` run directory, or diff two.
 * ``lint``      — run the AST-based determinism & contract linter over
@@ -308,14 +316,6 @@ def cmd_process(args) -> int:
     graph = _load_graph(args)
     estimator = _make_estimator(args.policy, args.scale)
 
-    if args.mutations and args.fault_schedule:
-        print(
-            "error: --mutations cannot be combined with --fault-schedule "
-            "(streaming runs are priced fault-free)",
-            file=sys.stderr,
-        )
-        return 2
-
     observer = None
     observed = nullcontext()
     if args.obs_dir:
@@ -409,12 +409,25 @@ def cmd_process(args) -> int:
 
 
 def _process_streaming(args, cluster, graph, estimator, observer, observed) -> int:
-    """``process --mutations``: run the app as a streaming deployment."""
+    """``process --mutations``: run the app as a streaming deployment.
+
+    With ``--fault-schedule`` or ``--checkpoint-every`` the stream is
+    priced through the resilient streaming runtime: epochs checkpoint on
+    the chosen cadence, injected crashes replay from the last durable
+    snapshot, and the trace stays byte-identical to an undisturbed run
+    (the recovery bill is reported separately).
+    """
     from repro.apps.registry import make_app
-    from repro.errors import StreamError
+    from repro.errors import RecoveryError, StreamError
+    from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+    from repro.faults.schedule import FaultSchedule
     from repro.partition import make_partitioner
     from repro.partition.metrics import weighted_imbalance
-    from repro.streaming import MutationStream, StreamingSystem
+    from repro.streaming import (
+        MutationStream,
+        ResilientStreamingSystem,
+        StreamingSystem,
+    )
     from repro.utils.tables import format_table
 
     try:
@@ -426,18 +439,55 @@ def _process_streaming(args, cluster, graph, estimator, observer, observed) -> i
         print(f"error: cannot read mutation stream: {exc}", file=sys.stderr)
         return 2
 
+    resilient = bool(args.fault_schedule) or args.checkpoint_every is not None
+    schedule = None
+    if args.fault_schedule:
+        try:
+            schedule = FaultSchedule.load(args.fault_schedule)
+        except OSError as exc:
+            print(
+                f"error: cannot read fault schedule: {exc}", file=sys.stderr
+            )
+            return 2
+    recovery = None
     application = make_app(args.app)
     with _store_attached(args), observed:
         weights = estimator.weights(cluster, application.name, graph)
-        system = StreamingSystem(cluster, halo=args.halo)
         try:
-            result = system.run(
-                application,
-                graph,
-                stream,
-                make_partitioner(args.partitioner),
-                weights=weights,
-            )
+            if resilient:
+                interval = (
+                    args.checkpoint_every
+                    if args.checkpoint_every is not None
+                    else 1
+                )
+                resilient_system = ResilientStreamingSystem(
+                    cluster,
+                    halo=args.halo,
+                    faults=schedule,
+                    checkpoint=CheckpointPolicy(interval=interval),
+                    retry=RetryPolicy(max_retries=args.max_retries),
+                )
+                outcome = resilient_system.run_resilient(
+                    application,
+                    graph,
+                    stream,
+                    make_partitioner(args.partitioner),
+                    weights=weights,
+                )
+                result = outcome.result
+                recovery = outcome.recovery
+            else:
+                system = StreamingSystem(cluster, halo=args.halo)
+                result = system.run(
+                    application,
+                    graph,
+                    stream,
+                    make_partitioner(args.partitioner),
+                    weights=weights,
+                )
+        except RecoveryError as exc:
+            print(f"run FAILED: {exc}")
+            return 1
         except StreamError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -477,6 +527,13 @@ def _process_streaming(args, cluster, graph, estimator, observer, observed) -> i
     print(f"total runtime    : {result.total_runtime_seconds * 1e3:.3f} ms")
     print(f"reassigned edges : {result.total_reassigned_edges}")
     print(f"moved edges      : {result.total_moved_edges}")
+    if recovery is not None:
+        print(
+            f"resilience       : {recovery.crashes} crash(es), "
+            f"{recovery.replayed_epochs} epoch(s) replayed, "
+            f"{recovery.checkpoints_taken} checkpoint(s), "
+            f"recovery overhead {recovery.overhead_seconds * 1e3:.3f} ms"
+        )
     if args.stream_out:
         with open(args.stream_out, "w", encoding="utf-8") as fh:
             fh.write(result.trace_json() + "\n")
@@ -837,6 +894,15 @@ def _serve_federated(args) -> int:
 
     with _store_attached(args) as store:
         with observed:
+            custody = None
+            stream_checkpoint = None
+            if args.checkpoint_every is not None:
+                from repro.streaming import CheckpointCustody
+
+                custody = CheckpointCustody(store=store)
+                stream_checkpoint = CheckpointPolicy(
+                    interval=args.checkpoint_every
+                )
             service = FederationService(
                 clusters,
                 policy=policy,
@@ -844,6 +910,8 @@ def _serve_federated(args) -> int:
                 federation=fed_policy,
                 estimator=estimator,
                 checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+                custody=custody,
+                stream_checkpoint=stream_checkpoint,
             )
             try:
                 result = service.run_workload(
@@ -988,12 +1056,23 @@ def cmd_serve(args) -> int:
 
     with _store_attached(args) as store:
         with observed:
+            custody = None
+            stream_checkpoint = None
+            if args.checkpoint_every is not None:
+                from repro.streaming import CheckpointCustody
+
+                custody = CheckpointCustody(store=store)
+                stream_checkpoint = CheckpointPolicy(
+                    interval=args.checkpoint_every
+                )
             service = JobService(
                 cluster,
                 policy=policy,
                 breaker_policy=breaker,
                 estimator=estimator,
                 checkpoint=CheckpointPolicy(interval=args.checkpoint_interval),
+                checkpoints=custody,
+                stream_checkpoint=stream_checkpoint,
             )
             result = service.run_workload(workload)
         if store is not None:
@@ -1061,10 +1140,12 @@ _EXPERIMENTS = {
     "fig11": ("repro.experiments.fig11", "run_fig11", True),
     "service_demo": ("repro.experiments.service_demo", "run_service_demo", True),
     "churn": ("repro.experiments.churn", "run_churn", True),
+    "churn_faults": ("repro.experiments.churn_faults", "run_churn_faults", True),
+    "churn_halo": ("repro.experiments.churn_faults", "run_halo_sweep", True),
 }
 
 #: Experiments that accept a ``mutations=`` stream override.
-_MUTATION_EXPERIMENTS = ("churn",)
+_MUTATION_EXPERIMENTS = ("churn", "churn_faults", "churn_halo")
 
 
 def cmd_experiment(args) -> int:
@@ -1430,6 +1511,10 @@ def build_parser() -> argparse.ArgumentParser:
     proc.add_argument("--checkpoint-interval", type=int, default=10,
                       help="supersteps between checkpoints under faults "
                       "(0 disables)")
+    proc.add_argument("--checkpoint-every", type=int, default=None,
+                      help="stream epochs between durable checkpoints "
+                      "(with --mutations; 0 disables snapshots; default "
+                      "1 when --fault-schedule is also given)")
     proc.add_argument("--max-retries", type=_positive_int, default=3,
                       help="restarts tolerated per crash site")
     proc.add_argument("--no-rebalance", action="store_true",
@@ -1615,6 +1700,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--checkpoint-interval", type=int, default=10,
                      help="supersteps between checkpoints under faults "
                      "(0 disables)")
+    srv.add_argument("--checkpoint-every", type=int, default=None,
+                     help="stream epochs between durable checkpoints for "
+                     "mutation-stream jobs; wires a shared checkpoint "
+                     "custody so shard crashes fail streams over "
+                     "mid-stream instead of restarting them (with "
+                     "--store the snapshots persist in the summary "
+                     "store); 0 disables snapshots")
     srv.add_argument("--json", action="store_true",
                      help="print the metrics summary as JSON")
     srv.add_argument("--trace-out",

@@ -29,7 +29,7 @@ pool online at regular intervals."*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
@@ -175,6 +175,49 @@ class OnlineCCRMonitor:
     def clear_degradation(self, machine_type: str) -> None:
         """Restore a type's profiled capability (condition cleared)."""
         self._degradation.pop(machine_type, None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint snapshot (streaming recovery)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the monitor's derived-weight state.
+
+        Captures exactly what :meth:`pool_for` reads — the raw profiled
+        times and the compounded degradation factors — so a monitor
+        restored from the snapshot derives byte-identical weight tables.
+        The observation history (:attr:`updates`) is operational metadata
+        and is deliberately not part of the snapshot.
+        """
+        return {
+            "times": {
+                app: dict(sorted(per_app.items()))
+                for app, per_app in sorted(self._times.items())
+            },
+            "degradation": dict(sorted(self._degradation.items())),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a :meth:`state_dict` snapshot, replacing current state.
+
+        Apps absent from the monitor's configured set are rejected: a
+        snapshot from a differently configured monitor cannot be loaded.
+        """
+        times = state.get("times", {})
+        unknown = sorted(set(times) - set(self.apps))
+        if unknown:
+            raise ProfilingError(
+                f"snapshot covers unmonitored applications {unknown}"
+            )
+        self._times = {a: {} for a in self.apps}
+        for app, per_app in sorted(times.items()):
+            self._times[app] = {
+                str(mtype): float(t) for mtype, t in sorted(per_app.items())
+            }
+        degradation = state.get("degradation", {})
+        self._degradation = {
+            str(mtype): float(f) for mtype, f in sorted(degradation.items())
+        }
 
     # ------------------------------------------------------------------ #
 

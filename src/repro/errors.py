@@ -20,6 +20,7 @@ __all__ = [
     "RecoveryError",
     "StreamError",
     "StreamFormatError",
+    "StreamCheckpointError",
     "ServiceError",
     "WorkloadFormatError",
     "DeadlineExceeded",
@@ -96,6 +97,18 @@ class StreamFormatError(StreamError):
 
     Streams carry a ``format_version``; files written by other versions
     are rejected with this error, never reinterpreted.
+    """
+
+
+class StreamCheckpointError(StreamError):
+    """Unusable stream checkpoint (version, identity or state mismatch).
+
+    Raised when a checkpoint's format version is unknown, when its
+    fingerprints disagree with the run being resumed (different graph,
+    stream, application, strategy, halo or cluster width), or when its
+    recorded state is internally inconsistent.  Mismatched checkpoints
+    are rejected, never reinterpreted: resuming from the wrong snapshot
+    would silently fork the byte-identical replay contract.
     """
 
 

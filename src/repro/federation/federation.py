@@ -62,7 +62,13 @@ from repro.service.request import (
     JobRequest,
     Workload,
 )
-from repro.service.service import JobService, ServicePolicy, ServiceResult
+from repro.service.service import (
+    JobService,
+    ServicePolicy,
+    ServiceResult,
+    _locate_reason,
+)
+from repro.streaming.recovery import CheckpointCustody
 from repro.utils.rng import make_rng
 
 __all__ = [
@@ -292,11 +298,21 @@ class FederationService:
     clusters:
         One heterogeneous cluster per shard (the federation width is
         ``len(clusters)``).
-    policy, breaker_policy, estimator, checkpoint, engine_retry, monitor:
+    policy, breaker_policy, estimator, checkpoint, engine_retry, monitor,
+    stream_checkpoint:
         Per-shard service knobs, shared by every shard (see
         :class:`~repro.service.service.JobService`).
     federation:
         Routing/stealing/backpressure knobs (:class:`FederationPolicy`).
+    custody:
+        Optional shared :class:`~repro.streaming.recovery.
+        CheckpointCustody`.  When given, every shard checkpoints its
+        streaming jobs through it, and a shard crash mid-stream fails the
+        stream over in ring order: custody is sealed at the crash instant
+        (snapshots still being written are dropped) and the adopting
+        shard resumes from the last durable checkpoint instead of
+        restarting the stream from scratch.  Without it streaming jobs
+        restart from batch 0 on failover, exactly as plain jobs re-run.
     """
 
     def __init__(
@@ -309,6 +325,8 @@ class FederationService:
         checkpoint: Optional[CheckpointPolicy] = None,
         engine_retry: Optional[RetryPolicy] = None,
         monitor: Optional[Any] = None,
+        custody: Optional[CheckpointCustody] = None,
+        stream_checkpoint: Optional[CheckpointPolicy] = None,
     ):
         clusters = tuple(clusters)
         if not clusters:
@@ -324,6 +342,7 @@ class FederationService:
         #: the content-keyed kernel caches see one object per input.
         self._graphs: Dict[Tuple[Any, ...], DiGraph] = {}
         self._fingerprints: Dict[Tuple[Any, ...], str] = {}
+        self.custody = custody
         self.shards: Tuple[_Shard, ...] = tuple(
             _Shard(
                 shard_id=i,
@@ -335,6 +354,7 @@ class FederationService:
                     checkpoint=checkpoint,
                     engine_retry=engine_retry,
                     monitor=monitor,
+                    stream_checkpoint=stream_checkpoint,
                 ),
                 journal=ShardJournal(i),
             )
@@ -342,6 +362,7 @@ class FederationService:
         )
         for shard in self.shards:
             shard.service._graphs = self._graphs
+            shard.service.checkpoints = self.custody
 
     @property
     def num_shards(self) -> int:
@@ -506,7 +527,10 @@ class FederationService:
                 first_reason = reason
             if not fed.spill:
                 break
-        self._reject(job, first_reason)
+        self._reject(
+            job,
+            _locate_reason(first_reason, self._job_index.get(job.job_id)),
+        )
 
     def _failover(
         self, job: JobRequest, from_shard: _Shard, now_s: float
@@ -664,6 +688,18 @@ class FederationService:
                 shard=shard.shard_id,
             )
         record = shard.service._run_job(job, start_s, len(shard.queue))
+        resumed_from = shard.service.stream_resumes.pop(job.job_id, None)
+        if resumed_from is not None:
+            shard.journal.append(
+                start_s,
+                f"resumed:{resumed_from}",
+                job.job_id,
+                "continued mid-stream from durable checkpoint",
+            )
+            self._fed_event(
+                start_s, "stream_resume", shard.shard_id, job.job_id,
+                f"resumed from batch cursor {resumed_from}",
+            )
         end_s = record.end_s if record.end_s is not None else start_s
         occupancy = (end_s - start_s) * self._slow_factor(
             shard.shard_id, start_s
@@ -673,10 +709,26 @@ class FederationService:
         if crash_at is not None:
             # The run will be destroyed mid-flight: hold the job as
             # in-flight and let the crash event abort and re-route it.
+            # For a streaming job with custody, seal the checkpoint set
+            # at the crash instant: snapshots durable by then survive the
+            # failover, snapshots still being written die with the shard.
+            if self.custody is not None and job.graph.mutations is not None:
+                factor = self._slow_factor(shard.shard_id, start_s)
+                rel_cutoff = (crash_at - start_s) / factor
+                sealed = self.custody.seal(job.job_id, rel_cutoff)
+                if sealed is not None:
+                    shard.journal.append(
+                        start_s,
+                        f"checkpoint:{sealed.batch_cursor}",
+                        job.job_id,
+                        f"durable at shard-crash cutoff {rel_cutoff:.6f}s",
+                    )
             shard.inflight = (job, start_s)
             shard.free_at = occupied_until
             return
         self._commit(record, shard.shard_id)
+        if self.custody is not None:
+            self.custody.clear(job.job_id)
         shard.journal.append(
             start_s,
             f"completed:{record.status}",
@@ -735,6 +787,9 @@ class FederationService:
 
         arrivals = list(workload.sorted_jobs())
         self._jobs_by_id = {job.job_id: job for job in arrivals}
+        self._job_index = {
+            job.job_id: i for i, job in enumerate(workload.jobs)
+        }
         self._ledger: Dict[str, JobRecord] = {}
         self._placements: Dict[str, int] = {}
         self._events: List[FederationEvent] = []
@@ -746,9 +801,9 @@ class FederationService:
         self._aborted_runs = 0
         self._lost_seconds = 0.0
         for shard in self.shards:
-            shard.service._rng = make_rng(
-                workload.seed + shard.shard_id * _SHARD_SEED_STRIDE
-            )
+            shard_seed = workload.seed + shard.shard_id * _SHARD_SEED_STRIDE
+            shard.service._rng = make_rng(shard_seed)
+            shard.service._stream_seed = shard_seed
 
         ptr = 0
         fptr = 0

@@ -4,6 +4,12 @@ Every scheduler shard writes a journal entry for each custody change of a
 job: arrival routing (``assigned``), steals and failovers in and out,
 destroyed in-flight runs (``aborted``), terminal outcomes
 (``completed:<status>``) and post-crash re-admissions (``recovered``).
+Streaming jobs add two informational kinds: ``checkpoint:<cursor>`` (the
+last stream checkpoint that was durable when the owning shard crashed)
+and ``resumed:<cursor>`` (the adopting shard continued mid-stream from
+that cursor instead of restarting).  Together they prove exactly-once
+batch application across a failover: every batch index appears on
+exactly one side of the checkpoint/resume pair.
 The journal is *append-only* — entries carry a monotonically increasing
 per-shard sequence number and are never rewritten — which gives the
 federation two guarantees:
@@ -44,8 +50,10 @@ _CUSTODY_IN = ("assigned", "steal_in", "failover_in", "recovered")
 #: Custody-out kinds: the job left this shard before terminating here.
 _CUSTODY_OUT = ("steal_out", "failover_out")
 
-#: Informational kinds: custody unchanged.
-_NEUTRAL = ("aborted",)
+#: Informational kinds: custody unchanged.  ``checkpoint:<cursor>`` and
+#: ``resumed:<cursor>`` document mid-stream failover without moving
+#: custody (the failover_out/failover_in pair does that).
+_NEUTRAL = ("aborted", "checkpoint", "resumed")
 
 #: Terminal kind prefix; the full kind is ``completed:<status>``.
 _TERMINAL_PREFIX = "completed:"

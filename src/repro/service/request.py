@@ -44,11 +44,16 @@ __all__ = [
 #: ``shard_faults`` block (a federation shard-fault schedule embedded in
 #: the workload, so one file pins a whole federated chaos replay);
 #: version 3 adds the optional per-job ``graph.mutations`` block (a
-#: streaming mutation scenario).  Version 1/2 files remain loadable
-#: unchanged; files using newer blocks under an old declared version are
-#: rejected with a located error.
-WORKLOAD_FORMAT_VERSION = 3
-SUPPORTED_FORMAT_VERSIONS: Tuple[int, ...] = (1, 2, 3)
+#: streaming mutation scenario); version 4 lifts v3's fault-exclusive
+#: rule and lets ``mutations`` compose with an explicit crash-only
+#: ``faults`` schedule (the checkpointed streaming recovery path).
+#: ``fault_rates`` still cannot compose with mutations: rates re-draw a
+#: fresh schedule per *attempt*, which has no meaning under exactly-once
+#: mid-stream resume.  Older files remain loadable unchanged; files
+#: using newer blocks under an old declared version are rejected with a
+#: located error.
+WORKLOAD_FORMAT_VERSION = 4
+SUPPORTED_FORMAT_VERSIONS: Tuple[int, ...] = (1, 2, 3, 4)
 
 #: Typed job outcomes.  Every submitted job ends in exactly one of these.
 STATUS_COMPLETED = "completed"
@@ -319,13 +324,24 @@ class JobRequest:
                 "give 'faults' (explicit schedule) or 'fault_rates' "
                 "(seeded rates), not both"
             )
-        if self.graph.mutations is not None and (
-            self.faults is not None or self.fault_rates is not None
-        ):
-            raise WorkloadFormatError(
-                "jobs with graph 'mutations' cannot also carry fault "
-                "scenarios; streaming runs are priced fault-free"
-            )
+        if self.graph.mutations is not None:
+            if self.fault_rates is not None:
+                raise WorkloadFormatError(
+                    "jobs with graph 'mutations' cannot carry "
+                    "'fault_rates': seeded rates re-draw a fresh schedule "
+                    "per attempt, which does not compose with exactly-once "
+                    "mid-stream resume; pin an explicit crash-only "
+                    "'faults' schedule instead"
+                )
+            if self.faults is not None and (
+                self.faults.slowdowns or self.faults.network_faults
+            ):
+                raise WorkloadFormatError(
+                    "jobs with graph 'mutations' accept crash faults "
+                    "only; slowdown/network faults need the "
+                    "per-superstep pricing walk of the static resilient "
+                    "runtime"
+                )
 
     @property
     def absolute_deadline_s(self) -> Optional[float]:
@@ -562,6 +578,15 @@ class Workload:
                 if job.graph.mutations is not None and version < 3:
                     raise WorkloadFormatError(
                         "graph 'mutations' requires format_version >= 3"
+                    )
+                if (
+                    job.graph.mutations is not None
+                    and job.faults is not None
+                    and version < 4
+                ):
+                    raise WorkloadFormatError(
+                        "composing graph 'mutations' with 'faults' "
+                        "requires format_version >= 4"
                     )
                 jobs.append(job)
             except WorkloadFormatError as exc:

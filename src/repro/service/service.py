@@ -39,9 +39,10 @@ over per-job records.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
@@ -69,7 +70,30 @@ from repro.service.request import (
 )
 from repro.utils.rng import make_rng
 
+if TYPE_CHECKING:
+    from repro.streaming.recovery import CheckpointCustody
+
 __all__ = ["ServicePolicy", "ServiceResult", "JobService"]
+
+
+def _stream_job_seed(base_seed: int, job_id: str) -> int:
+    """Deterministic backoff seed for one streaming job's recovery RNG."""
+    digest = hashlib.sha256(job_id.encode("utf-8")).digest()
+    return base_seed * 1000003 + int.from_bytes(digest[:4], "big")
+
+
+def _locate_reason(reason: str, job_index: Optional[int]) -> str:
+    """Prefix per-job *validation* rejections with their workload location.
+
+    Validation reasons (``invalid fault schedule``, ``invalid mutation
+    stream``) point at a defect in the workload file, so they carry the
+    same ``jobs[i]`` locator :meth:`Workload.from_json` uses.  Capacity
+    reasons (queue full, projected wait) describe service state, not the
+    record, and stay unlocated.
+    """
+    if job_index is not None and reason.startswith("invalid "):
+        return f"jobs[{job_index}]: {reason}"
+    return reason
 
 #: Iteration knob per application, for degraded (shed) runs.  Apps absent
 #: here have no budget to cut, so shedding leaves them whole.
@@ -243,12 +267,24 @@ class JobService:
         (``None`` = uniform; breakers multiply on top either way).
     checkpoint, engine_retry:
         Recovery policies handed to the resilient runtime per attempt.
+    stream_checkpoint:
+        Snapshot cadence for *streaming* jobs (epochs between durable
+        stream checkpoints).  ``None`` falls back to ``checkpoint`` —
+        one policy for both granularities — but the two usually differ:
+        static runs checkpoint every N supersteps, streams every N
+        mutation batches.
     monitor:
         Optional :class:`~repro.core.online.OnlineCCRMonitor` receiving
         degradation reports when a run's supervisor fires.
     stream_halo:
         Boundary-expansion radius of the incremental partitioner used for
         jobs carrying a graph mutation stream.
+    checkpoints:
+        Optional shared :class:`~repro.streaming.recovery.
+        CheckpointCustody`.  When given, streaming jobs checkpoint through
+        it and — if custody already holds a durable snapshot for the job
+        id (a federation failover) — resume mid-stream instead of
+        restarting from scratch.
     """
 
     def __init__(
@@ -261,6 +297,8 @@ class JobService:
         engine_retry: Optional[RetryPolicy] = None,
         monitor: Optional[Any] = None,
         stream_halo: int = 1,
+        checkpoints: Optional["CheckpointCustody"] = None,
+        stream_checkpoint: Optional[CheckpointPolicy] = None,
     ):
         self.cluster = cluster
         self.policy = policy if policy is not None else ServicePolicy()
@@ -273,9 +311,20 @@ class JobService:
         self.engine_retry = engine_retry
         self.monitor = monitor
         self.stream_halo = int(stream_halo)
+        self.checkpoints = checkpoints
+        self.stream_checkpoint = (
+            stream_checkpoint if stream_checkpoint is not None else checkpoint
+        )
+        #: job_id -> canonical streaming trace JSON of the last completed
+        #: run (the byte-identity proof artifact for recovery tests).
+        self.stream_traces: Dict[str, str] = {}
+        #: job_id -> batch cursor the last run resumed from (consumed by
+        #: the federation to journal ``resumed:<cursor>`` entries).
+        self.stream_resumes: Dict[str, int] = {}
         self._graphs: Dict[Tuple[Any, ...], DiGraph] = {}
         self._projections: Dict[Tuple[Any, ...], float] = {}
         self._rng = make_rng(0)
+        self._stream_seed = 0
 
     # ------------------------------------------------------------------ #
     # Shared inputs
@@ -485,29 +534,97 @@ class JobService:
     ) -> JobRecord:
         """Price one mutation-stream job: epochs of compute plus repairs.
 
-        Streaming jobs are fault-free by construction (rejected earlier
-        otherwise), so there is no attempt loop: the whole stream prices
-        in one pass and the tenant is charged the summed epoch makespans.
-        A deadline overrun mid-stream cancels at the deadline and charges
-        the pro-rated share, mirroring the static-run contract.
+        Fault-free streams price in one pass and the tenant is charged
+        the summed epoch makespans.  With crash faults attached (format
+        v4) or a checkpoint custody wired in, the stream runs through the
+        :class:`~repro.streaming.recovery.ResilientStreamingSystem`: the
+        trace stays byte-identical to an undisturbed run, and the
+        recovery bill (lost work, replay, restarts, backoff, snapshot
+        costs) is charged *on top of* the productive runtime.  If custody
+        already holds a durable snapshot for this job id — a federation
+        failover — the run resumes mid-stream from the last checkpoint.
+        Crashes recovered inside the stream never feed the breaker board:
+        epoch recovery is sub-attempt granularity, and blaming machine
+        slots for it would perturb later jobs' weights.
         """
         from repro.partition import make_partitioner
-        from repro.streaming.runner import StreamingSystem
+        from repro.streaming.recovery import ResilientStreamingSystem
+        from repro.streaming.runner import StreamingResult, StreamingSystem
 
         assert job.graph.mutations is not None
-        system = StreamingSystem(self.cluster, halo=self.stream_halo)
-        result = system.run(
-            application,
-            graph,
-            job.graph.mutations,
-            make_partitioner(job.partitioner),
-            weights=weights,
-        )
+        recover = job.faults is not None or self.checkpoints is not None
+        crashes = 0
+        overhead = 0.0
+        backoff_s = 0.0
+        result: StreamingResult
+        if recover:
+            system = ResilientStreamingSystem(
+                self.cluster,
+                halo=self.stream_halo,
+                faults=job.faults,
+                checkpoint=self.stream_checkpoint,
+                retry=self.engine_retry,
+                seed=_stream_job_seed(self._stream_seed, job.job_id),
+                custody=self.checkpoints,
+                job_id=job.job_id,
+            )
+            resume = (
+                self.checkpoints.latest(job.job_id)
+                if self.checkpoints is not None
+                else None
+            )
+            try:
+                outcome = system.run_resilient(
+                    application,
+                    graph,
+                    job.graph.mutations,
+                    make_partitioner(job.partitioner),
+                    weights=weights,
+                    resume_from=resume,
+                )
+            except RecoveryError as exc:
+                if obs.is_enabled():
+                    obs.counter_add("service.stream_failures", 1.0)
+                return JobRecord(
+                    job_id=job.job_id,
+                    app=job.app,
+                    status=STATUS_FAILED,
+                    priority=job.priority,
+                    submit_s=job.submit_s,
+                    start_s=start_s,
+                    end_s=start_s,
+                    attempts=1,
+                    degraded=degraded,
+                    reason=f"stream recovery exhausted: {exc}",
+                )
+            result = outcome.result
+            crashes = outcome.recovery.crashes
+            overhead = outcome.recovery.overhead_seconds
+            backoff_s = outcome.recovery.backoff_seconds
+            if outcome.recovery.resumed_from_batch is not None:
+                self.stream_resumes[job.job_id] = (
+                    outcome.recovery.resumed_from_batch
+                )
+                if obs.is_enabled():
+                    obs.counter_add("service.stream_resumed", 1.0)
+            if crashes and obs.is_enabled():
+                obs.counter_add("service.stream_crashes", float(crashes))
+        else:
+            plain = StreamingSystem(self.cluster, halo=self.stream_halo)
+            result = plain.run(
+                application,
+                graph,
+                job.graph.mutations,
+                make_partitioner(job.partitioner),
+                weights=weights,
+            )
+        self.stream_traces[job.job_id] = result.trace_json()
         runtime_seconds = result.total_runtime_seconds
         energy = float(sum(e.report.energy_joules for e in result.epochs))
         supersteps = sum(e.report.num_supersteps for e in result.epochs)
+        total_seconds = runtime_seconds + overhead
         # Healthy run: every machine slot contributed to every epoch.
-        self._feed_breakers(None, (), False, start_s + runtime_seconds)
+        self._feed_breakers(None, (), False, start_s + total_seconds)
         if obs.is_enabled():
             obs.counter_add("service.stream_jobs", 1.0)
             obs.counter_add(
@@ -517,11 +634,11 @@ class JobService:
             obs.counter_add(
                 "service.stream_moved_edges", float(result.total_moved_edges)
             )
-        finish = start_s + runtime_seconds
+        finish = start_s + total_seconds
         if deadline is not None and finish > deadline:
             run_share = max(0.0, deadline - start_s)
             fraction = (
-                run_share / runtime_seconds if runtime_seconds > 0.0 else 0.0
+                run_share / total_seconds if total_seconds > 0.0 else 0.0
             )
             return JobRecord(
                 job_id=job.job_id,
@@ -534,8 +651,10 @@ class JobService:
                 charged_seconds=run_share,
                 charged_energy_joules=energy * fraction,
                 attempts=1,
+                retries_backoff_s=backoff_s,
                 degraded=degraded,
                 supersteps=supersteps,
+                crashes=crashes,
                 reason=(
                     f"stream overran deadline: finish {finish:.6f}s > "
                     f"deadline {deadline:.6f}s"
@@ -549,11 +668,13 @@ class JobService:
             submit_s=job.submit_s,
             start_s=start_s,
             end_s=finish,
-            charged_seconds=runtime_seconds,
+            charged_seconds=total_seconds,
             charged_energy_joules=energy,
             attempts=1,
+            retries_backoff_s=backoff_s,
             degraded=degraded,
             supersteps=supersteps,
+            crashes=crashes,
         )
 
     def _attempt_loop(
@@ -714,6 +835,8 @@ class JobService:
         """
         arrivals = list(workload.sorted_jobs())
         self._rng = make_rng(workload.seed)
+        self._stream_seed = workload.seed
+        job_index = {job.job_id: i for i, job in enumerate(workload.jobs)}
         queue: List[JobRequest] = []
         records: List[JobRecord] = []
         free_at = 0.0
@@ -734,6 +857,9 @@ class JobService:
                     ptr += 1
                     reason = self._admission_error(job, queue, free_at)
                     if reason:
+                        reason = _locate_reason(
+                            reason, job_index.get(job.job_id)
+                        )
                         records.append(
                             JobRecord(
                                 job_id=job.job_id,

@@ -119,4 +119,5 @@ CODECS = {
     "estimate": FLOAT_CODEC,
     "assignment": ASSIGNMENT_CODEC,
     "run_summary": JSON_CODEC,
+    "stream_checkpoint": JSON_CODEC,
 }

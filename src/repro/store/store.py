@@ -26,9 +26,11 @@ Durability contract:
   crashed init never leaves a half-written store behind;
 * **Transactional writes** — every put runs in its own ``BEGIN
   IMMEDIATE`` transaction with a bounded busy timeout; a lock held past
-  the timeout raises :class:`~repro.errors.StoreLockedError` (typed,
-  exit 2 at the CLI) instead of blocking forever, and concurrent
-  writers serialize rather than corrupt;
+  the timeout is retried a bounded number of times with seeded
+  full-jitter backoff (deterministic given ``retry_seed``) and only
+  then raises :class:`~repro.errors.StoreLockedError` (typed, exit 2
+  at the CLI) instead of blocking forever, so concurrent writers
+  serialize rather than corrupt;
 * **Typed failure** — an unreadable file raises
   :class:`~repro.errors.StoreCorruptError`, a version mismatch
   :class:`~repro.errors.StoreSchemaError`.  Silent degradation is
@@ -41,7 +43,8 @@ from __future__ import annotations
 import hashlib
 import os
 import sqlite3
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import (
     StoreCorruptError,
@@ -49,6 +52,7 @@ from repro.errors import (
     StoreLockedError,
     StoreSchemaError,
 )
+from repro.utils.rng import make_rng
 
 __all__ = ["SCHEMA_VERSION", "SummaryStore"]
 
@@ -61,6 +65,13 @@ _SQLITE_MAGIC = b"SQLite format 3\x00"
 
 #: Milliseconds a writer waits on a locked store before failing typed.
 _BUSY_TIMEOUT_MS = 5_000
+
+#: Extra write attempts after the first one finds the store locked.
+_RETRY_ATTEMPTS = 3
+
+#: Full-jitter backoff base: attempt ``n`` sleeps uniform in
+#: ``[0, _RETRY_BASE_S * 2**n)`` seconds before retrying.
+_RETRY_BASE_S = 0.05
 
 _SCHEMA = """
 CREATE TABLE store_meta (
@@ -101,26 +112,47 @@ class SummaryStore:
     itself never touches the filesystem layout.
     """
 
-    def __init__(self, path: str, conn: sqlite3.Connection):
+    def __init__(
+        self,
+        path: str,
+        conn: sqlite3.Connection,
+        *,
+        busy_timeout_ms: int = _BUSY_TIMEOUT_MS,
+        retry_attempts: int = _RETRY_ATTEMPTS,
+        retry_base_s: float = _RETRY_BASE_S,
+        retry_seed: int = 0,
+    ):
+        if retry_attempts < 0:
+            raise StoreError(
+                f"retry_attempts must be non-negative, got {retry_attempts}"
+            )
         self.path = path
         self._conn = conn
+        self.busy_timeout_ms = busy_timeout_ms
+        self.retry_attempts = retry_attempts
+        self.retry_base_s = retry_base_s
+        self._retry_rng = make_rng(retry_seed)
+        #: Injection point so the held-lock tests can release the lock
+        #: between attempts instead of actually sleeping.
+        self._sleep: Callable[[float], None] = time.sleep
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def create(cls, path: str) -> "SummaryStore":
+    def create(cls, path: str, **open_kwargs: Any) -> "SummaryStore":
         """Atomically initialise a new store at ``path`` and open it.
 
         The database is built in a temporary sibling and renamed into
         place, so a crash mid-init cannot leave a truncated store.
         Creating over an existing *valid* store is idempotent (the
         existing store is opened unchanged); creating over a corrupt or
-        stale file raises the corresponding typed error.
+        stale file raises the corresponding typed error.  Keyword
+        arguments are forwarded to :meth:`open`.
         """
         if os.path.exists(path):
-            return cls.open(path)
+            return cls.open(path, **open_kwargs)
         tmp = f"{path}.init-tmp-{os.getpid()}"
         try:
             conn = sqlite3.connect(tmp, isolation_level=None)
@@ -141,11 +173,27 @@ class SummaryStore:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
-        return cls.open(path)
+        return cls.open(path, **open_kwargs)
 
     @classmethod
-    def open(cls, path: str) -> "SummaryStore":
-        """Open and validate an existing store, or raise typed errors."""
+    def open(
+        cls,
+        path: str,
+        *,
+        busy_timeout_ms: int = _BUSY_TIMEOUT_MS,
+        retry_attempts: int = _RETRY_ATTEMPTS,
+        retry_base_s: float = _RETRY_BASE_S,
+        retry_seed: int = 0,
+    ) -> "SummaryStore":
+        """Open and validate an existing store, or raise typed errors.
+
+        ``busy_timeout_ms`` bounds how long sqlite blocks on a held
+        write lock before one attempt fails; ``retry_attempts`` /
+        ``retry_base_s`` / ``retry_seed`` shape the seeded full-jitter
+        retry loop that wraps every write transaction (see
+        :meth:`_write`).  The defaults suit real contention; tests dial
+        them down so a held lock fails in milliseconds.
+        """
         if not os.path.exists(path):
             raise StoreError(
                 f"no summary store at {path!r} (initialise one with "
@@ -159,7 +207,7 @@ class SummaryStore:
                 f"refusing to read it"
             )
         conn = sqlite3.connect(path, isolation_level=None)
-        conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         try:
             row = conn.execute(
                 "SELECT value FROM store_meta WHERE key = 'schema_version'"
@@ -183,7 +231,14 @@ class SummaryStore:
                 f"expects {SCHEMA_VERSION}; regenerate the store with "
                 f"`repro gen --init --all`"
             )
-        return cls(path, conn)
+        return cls(
+            path,
+            conn,
+            busy_timeout_ms=busy_timeout_ms,
+            retry_attempts=retry_attempts,
+            retry_base_s=retry_base_s,
+            retry_seed=retry_seed,
+        )
 
     def close(self) -> None:
         self._conn.close()
@@ -282,7 +337,41 @@ class SummaryStore:
     def _write(
         self, statements: Tuple[Tuple[str, Tuple[Any, ...]], ...]
     ) -> None:
-        """Run statements in one IMMEDIATE transaction, typed on failure."""
+        """Run statements in one IMMEDIATE transaction, typed on failure.
+
+        A locked store is not immediately fatal: the transaction is
+        retried up to ``retry_attempts`` more times, sleeping a
+        full-jitter backoff before each retry — attempt ``n`` draws
+        uniform from ``[0, retry_base_s * 2**n)`` seconds off the
+        store's seeded rng, so two contending writers de-synchronise
+        yet every delay is reproducible given ``retry_seed``.  Only
+        when the budget is exhausted does
+        :class:`~repro.errors.StoreLockedError` propagate.
+        """
+        for attempt in range(self.retry_attempts + 1):
+            try:
+                self._write_once(statements)
+                return
+            except StoreLockedError as exc:
+                if attempt == self.retry_attempts:
+                    raise StoreLockedError(
+                        f"summary store {self.path!r} is still locked "
+                        f"after {attempt + 1} attempt(s) (busy timeout "
+                        f"{self.busy_timeout_ms} ms each, full-jitter "
+                        f"backoff base {self.retry_base_s} s)"
+                    ) from exc
+                self._sleep(
+                    float(
+                        self._retry_rng.uniform(
+                            0.0, self.retry_base_s * (2.0 ** attempt)
+                        )
+                    )
+                )
+
+    def _write_once(
+        self, statements: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    ) -> None:
+        """One transaction attempt; raises typed on any failure."""
         try:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
@@ -296,7 +385,7 @@ class SummaryStore:
             if "locked" in str(exc) or "busy" in str(exc):
                 raise StoreLockedError(
                     f"summary store {self.path!r} is locked by another "
-                    f"process (waited {_BUSY_TIMEOUT_MS} ms)"
+                    f"process (waited {self.busy_timeout_ms} ms)"
                 ) from exc
             raise StoreCorruptError(
                 f"summary store {self.path!r} failed mid-write ({exc})"

@@ -10,7 +10,10 @@ Public surface of the streaming subsystem:
   which repairs an existing assignment instead of re-running the strategy
   from scratch;
 * :mod:`repro.streaming.runner` — :class:`StreamingSystem`, executing an
-  application across mutation epochs on the simulated clock.
+  application across mutation epochs on the simulated clock;
+* :mod:`repro.streaming.recovery` — :class:`StreamCheckpoint`,
+  :class:`CheckpointCustody` and :class:`ResilientStreamingSystem`:
+  checkpointed, crash-tolerant streaming with byte-identical traces.
 """
 
 from repro.streaming.generators import STREAM_PATTERNS, generate_stream
@@ -28,7 +31,19 @@ from repro.streaming.mutations import (
     ReviveVertex,
     apply_batch,
 )
+from repro.streaming.recovery import (
+    CHECKPOINT_NAMESPACE,
+    STREAM_CHECKPOINT_FORMAT_VERSION,
+    CheckpointCustody,
+    ResilientStreamingSystem,
+    RestoredEpoch,
+    StreamCheckpoint,
+    StreamRecoveryReport,
+    StreamRunOutcome,
+    replay_consumed_batches,
+)
 from repro.streaming.runner import (
+    EpochLike,
     EpochOutcome,
     StreamingResult,
     StreamingSystem,
@@ -50,7 +65,17 @@ __all__ = [
     "generate_stream",
     "IncrementalPartitioner",
     "StreamUpdate",
+    "EpochLike",
     "EpochOutcome",
     "StreamingResult",
     "StreamingSystem",
+    "CHECKPOINT_NAMESPACE",
+    "STREAM_CHECKPOINT_FORMAT_VERSION",
+    "StreamCheckpoint",
+    "RestoredEpoch",
+    "CheckpointCustody",
+    "StreamRecoveryReport",
+    "StreamRunOutcome",
+    "ResilientStreamingSystem",
+    "replay_consumed_batches",
 ]

@@ -112,6 +112,23 @@ class IncrementalPartitioner:
         self._applied = 0
         return self._result
 
+    def restore(self, result: PartitionResult, batches_applied: int) -> None:
+        """Adopt a previously produced assignment (checkpoint resume).
+
+        ``result`` must be the partitioner's own output for the graph as
+        it stood after ``batches_applied`` batches — the recovery path
+        rebuilds it from a :class:`~repro.streaming.recovery.
+        StreamCheckpoint` after structurally replaying the consumed
+        batches.  Subsequent :meth:`apply` calls continue exactly as if
+        the original instance had never been lost.
+        """
+        if batches_applied < 0:
+            raise StreamError(
+                f"batches_applied must be >= 0, got {batches_applied}"
+            )
+        self._result = result
+        self._applied = int(batches_applied)
+
     def apply(
         self, delta: ApplyResult, weights: Optional[ArrayLike] = None
     ) -> StreamUpdate:

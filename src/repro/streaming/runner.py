@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -50,10 +50,69 @@ from repro.partition.metrics import weighted_imbalance
 from repro.streaming.incremental import IncrementalPartitioner, StreamUpdate
 from repro.streaming.mutations import MutationStream, apply_batch
 
-__all__ = ["EpochOutcome", "StreamingResult", "StreamingSystem"]
+__all__ = [
+    "EpochLike",
+    "EpochOutcome",
+    "StreamingResult",
+    "StreamingSystem",
+]
 
 #: Bump when the streaming-trace layout changes; readers reject others.
 STREAMING_TRACE_FORMAT_VERSION = 1
+
+
+class EpochReportLike(Protocol):
+    """What streaming accounting needs from one epoch's priced report."""
+
+    @property
+    def runtime_seconds(self) -> float: ...
+
+    @property
+    def energy_joules(self) -> float: ...
+
+    @property
+    def num_supersteps(self) -> int: ...
+
+
+class EpochUpdateLike(Protocol):
+    """What streaming accounting needs from one epoch's repair record."""
+
+    @property
+    def affected_vertices(self) -> int: ...
+
+    @property
+    def reassigned_edges(self) -> int: ...
+
+    @property
+    def carried_edges(self) -> int: ...
+
+    @property
+    def moved_edges(self) -> int: ...
+
+
+class EpochLike(Protocol):
+    """Structural interface shared by live and checkpoint-restored epochs.
+
+    :class:`EpochOutcome` carries the live partition/trace objects; a
+    restored epoch (see :mod:`repro.streaming.recovery`) carries only its
+    pre-serialized record plus the accounting scalars.  Both serialize
+    through :meth:`to_record`, which is what keeps a resumed run's trace
+    byte-identical to an undisturbed one.
+    """
+
+    @property
+    def epoch(self) -> int: ...
+
+    @property
+    def num_machines(self) -> int: ...
+
+    @property
+    def report(self) -> EpochReportLike: ...
+
+    @property
+    def update(self) -> Optional[EpochUpdateLike]: ...
+
+    def to_record(self) -> Dict[str, Any]: ...
 
 
 @dataclass(frozen=True)
@@ -69,15 +128,48 @@ class EpochOutcome:
     report: ExecutionReport
     update: Optional[StreamUpdate]
 
+    @property
+    def num_machines(self) -> int:
+        return self.partition.num_machines
+
+    def to_record(self) -> Dict[str, Any]:
+        """The epoch's entry in the streaming trace (deterministic)."""
+        record: Dict[str, Any] = {
+            "epoch": self.epoch,
+            "num_edges": self.partition.graph.num_edges,
+            "assignment_sha256": hashlib.sha256(
+                self.partition.assignment.tobytes()
+            ).hexdigest(),
+            "imbalance": weighted_imbalance(self.partition),
+            "runtime_seconds": self.report.runtime_seconds,
+            "energy_joules": self.report.energy_joules,
+            "trace": self.trace.to_jsonable(),
+        }
+        if self.update is not None:
+            record.update(
+                {
+                    "affected_vertices": self.update.affected_vertices,
+                    "reassigned_edges": self.update.reassigned_edges,
+                    "carried_edges": self.update.carried_edges,
+                    "moved_edges": self.update.moved_edges,
+                }
+            )
+        return record
+
 
 @dataclass(frozen=True)
 class StreamingResult:
-    """Everything produced by one streaming run."""
+    """Everything produced by one streaming run.
+
+    ``epochs`` may mix live :class:`EpochOutcome` entries with restored
+    epochs stitched back from a :class:`~repro.streaming.recovery.
+    StreamCheckpoint`; the trace bytes are identical either way.
+    """
 
     app: str
     algorithm: str
     halo: int
-    epochs: Tuple[EpochOutcome, ...]
+    epochs: Tuple[EpochLike, ...]
 
     @property
     def num_epochs(self) -> int:
@@ -85,7 +177,13 @@ class StreamingResult:
 
     @property
     def final_partition(self) -> PartitionResult:
-        return self.epochs[-1].partition
+        last = self.epochs[-1]
+        if not isinstance(last, EpochOutcome):
+            raise StreamError(
+                "final partition is unavailable: the last epoch was "
+                "restored from a checkpoint record, not executed live"
+            )
+        return last.partition
 
     @property
     def total_runtime_seconds(self) -> float:
@@ -105,35 +203,13 @@ class StreamingResult:
 
     def to_jsonable(self) -> Dict[str, Any]:
         """Plain-dict form of the full streaming trace (deterministic)."""
-        epochs: List[Dict[str, Any]] = []
-        for e in self.epochs:
-            record: Dict[str, Any] = {
-                "epoch": e.epoch,
-                "num_edges": e.partition.graph.num_edges,
-                "assignment_sha256": hashlib.sha256(
-                    e.partition.assignment.tobytes()
-                ).hexdigest(),
-                "imbalance": weighted_imbalance(e.partition),
-                "runtime_seconds": e.report.runtime_seconds,
-                "energy_joules": e.report.energy_joules,
-                "trace": e.trace.to_jsonable(),
-            }
-            if e.update is not None:
-                record.update(
-                    {
-                        "affected_vertices": e.update.affected_vertices,
-                        "reassigned_edges": e.update.reassigned_edges,
-                        "carried_edges": e.update.carried_edges,
-                        "moved_edges": e.update.moved_edges,
-                    }
-                )
-            epochs.append(record)
+        epochs: List[Dict[str, Any]] = [e.to_record() for e in self.epochs]
         return {
             "format_version": STREAMING_TRACE_FORMAT_VERSION,
             "app": self.app,
             "algorithm": self.algorithm,
             "halo": self.halo,
-            "num_machines": self.epochs[0].partition.num_machines,
+            "num_machines": self.epochs[0].num_machines,
             "epochs": epochs,
             "total_runtime_seconds": self.total_runtime_seconds,
             "total_reassigned_edges": self.total_reassigned_edges,

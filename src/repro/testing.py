@@ -41,6 +41,12 @@ __all__ = [
     "GOLDEN_STREAM_HALO",
     "golden_stream",
     "golden_streaming_result",
+    "GOLDEN_FED_SHARDS",
+    "GOLDEN_FED_STREAM_JOB",
+    "GOLDEN_FED_SEED",
+    "golden_federation_clusters",
+    "golden_federated_stream_workload",
+    "golden_federated_stream_trace",
 ]
 
 #: The four paper applications, in evaluation order.
@@ -136,4 +142,81 @@ def golden_streaming_result(app_name: str, graph: DiGraph = None):
         golden_stream(graph),
         partitioner,
         weights=GOLDEN_WEIGHTS,
+    )
+
+
+#: Golden federated-failover recipe (fault-tolerant streaming fixtures).
+GOLDEN_FED_SHARDS = 3
+GOLDEN_FED_STREAM_JOB = "golden-stream"
+GOLDEN_FED_SEED = 2024
+
+
+def golden_federation_clusters():
+    """One golden heterogeneous pair per shard, federation width 3."""
+    return [golden_cluster() for _ in range(GOLDEN_FED_SHARDS)]
+
+
+def golden_federated_stream_workload():
+    """The fixed federated workload: one golden stream job + two plain.
+
+    The streaming job regenerates the golden graph from its spec and
+    carries the golden mutation stream; the plain jobs give the ring
+    shards something to do so failover ordering is exercised, not just
+    the two-shard trivial case.
+    """
+    from repro.service import GraphSpec, JobRequest, Workload
+
+    stream_spec = GraphSpec(
+        vertices=GOLDEN_GRAPH_VERTICES,
+        alpha=GOLDEN_GRAPH_ALPHA,
+        seed=GOLDEN_GRAPH_SEED,
+        mutations=golden_stream(),
+    )
+    jobs = (
+        JobRequest(
+            job_id=GOLDEN_FED_STREAM_JOB,
+            app="pagerank",
+            graph=stream_spec,
+        ),
+        JobRequest(
+            job_id="golden-plain-0",
+            app="connected_components",
+            graph=GraphSpec(vertices=600),
+            submit_s=0.0,
+        ),
+        JobRequest(
+            job_id="golden-plain-1",
+            app="pagerank",
+            graph=GraphSpec(vertices=800),
+            submit_s=0.001,
+        ),
+    )
+    return Workload(jobs=jobs, seed=GOLDEN_FED_SEED)
+
+
+def golden_federated_stream_trace() -> str:
+    """The golden stream job's trace through a fault-free federation.
+
+    This is the byte-identity anchor of the failover regression
+    (``tests/streaming/test_streaming_federation.py``): a mid-stream
+    shard crash must reproduce exactly these bytes on the adopting
+    shard.  Checkpointing every epoch through a shared custody is part
+    of the recipe — snapshots must never perturb the trace.
+    """
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.federation import FederationService
+    from repro.streaming import CheckpointCustody
+
+    service = FederationService(
+        golden_federation_clusters(),
+        custody=CheckpointCustody(),
+        stream_checkpoint=CheckpointPolicy(interval=1),
+    )
+    service.run_workload(golden_federated_stream_workload())
+    for shard in service.shards:
+        trace = shard.service.stream_traces.get(GOLDEN_FED_STREAM_JOB)
+        if trace is not None:
+            return trace
+    raise AssertionError(
+        "golden federated workload finished without a stream trace"
     )

@@ -215,4 +215,5 @@ class TestCodecs:
             "machine_time",
             "profile_trace",
             "run_summary",
+            "stream_checkpoint",
         ]

@@ -1,0 +1,333 @@
+"""Unit tests for the fault-tolerant streaming runtime.
+
+Covers the :mod:`repro.streaming.recovery` contracts in isolation:
+checkpoint serialization and validation, custody seal semantics, the
+crash/replay accounting of :class:`ResilientStreamingSystem`, and
+mid-stream resume (byte-identical continuation).  The federated failover
+path is exercised end-to-end in ``test_streaming_federation.py``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps.registry import make_app
+from repro.errors import (
+    RecoveryError,
+    StreamCheckpointError,
+    StreamError,
+)
+from repro.faults.checkpoint import CheckpointPolicy, RetryPolicy
+from repro.faults.schedule import (
+    CrashFault,
+    FaultSchedule,
+    SlowdownFault,
+)
+from repro.partition import make_partitioner
+from repro.streaming import (
+    CheckpointCustody,
+    ResilientStreamingSystem,
+    StreamCheckpoint,
+    StreamingSystem,
+    apply_batch,
+    replay_consumed_batches,
+)
+from repro.testing import (
+    GOLDEN_PARTITIONER,
+    GOLDEN_PARTITIONER_SEED,
+    GOLDEN_STREAM_HALO,
+    GOLDEN_WEIGHTS,
+    golden_cluster,
+    golden_graph,
+    golden_stream,
+)
+
+APP = "pagerank"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return golden_graph()
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    return golden_stream(graph)
+
+
+def _partitioner():
+    return make_partitioner(GOLDEN_PARTITIONER, seed=GOLDEN_PARTITIONER_SEED)
+
+
+def _plain_trace(graph, stream):
+    system = StreamingSystem(golden_cluster(), halo=GOLDEN_STREAM_HALO)
+    return system.run(
+        make_app(APP), graph, stream, _partitioner(), weights=GOLDEN_WEIGHTS
+    ).trace_json()
+
+
+def _run(graph, stream, custody=None, job_id=None, resume_from=None, **kw):
+    kw.setdefault("checkpoint", CheckpointPolicy(interval=1))
+    system = ResilientStreamingSystem(
+        golden_cluster(),
+        halo=GOLDEN_STREAM_HALO,
+        custody=custody,
+        job_id=job_id,
+        **kw,
+    )
+    return system.run_resilient(
+        make_app(APP),
+        graph,
+        stream,
+        _partitioner(),
+        weights=GOLDEN_WEIGHTS,
+        resume_from=resume_from,
+    )
+
+
+@pytest.fixture(scope="module")
+def checkpoint(graph, stream) -> StreamCheckpoint:
+    """A real mid-stream snapshot (cursor 2 of the golden stream)."""
+    custody = CheckpointCustody()
+    _run(graph, stream, custody=custody, job_id="unit")
+    entries = custody._entries["unit"]
+    # interval=1 snapshots after every epoch: cursors 0..num_batches.
+    return entries[2][1]
+
+
+class TestStreamCheckpoint:
+    def test_canonical_json_round_trips_byte_identically(self, checkpoint):
+        payload = json.loads(checkpoint.canonical_json())
+        restored = StreamCheckpoint.from_jsonable(payload)
+        assert restored.canonical_json() == checkpoint.canonical_json()
+        assert restored.fingerprint() == checkpoint.fingerprint()
+
+    def test_cursor_matches_epoch_record_count(self, checkpoint):
+        assert checkpoint.batch_cursor == 2
+        assert len(checkpoint.epoch_records) == 3
+
+    def test_unknown_field_rejected(self, checkpoint):
+        payload = json.loads(checkpoint.canonical_json())
+        payload["surprise"] = 1
+        with pytest.raises(StreamCheckpointError, match="surprise"):
+            StreamCheckpoint.from_jsonable(payload)
+
+    def test_future_format_version_rejected(self, checkpoint):
+        payload = json.loads(checkpoint.canonical_json())
+        payload["format_version"] = 99
+        with pytest.raises(StreamCheckpointError, match="99"):
+            StreamCheckpoint.from_jsonable(payload)
+
+    def test_record_count_invariant_enforced(self, checkpoint):
+        with pytest.raises(StreamCheckpointError, match="epoch records"):
+            dataclasses.replace(checkpoint, batch_cursor=5)
+
+    def test_checkpoint_key_names_identity(self, checkpoint):
+        key = checkpoint.checkpoint_key("job-7")
+        assert key.startswith("stream_checkpoint:v1:job=job-7:")
+        assert f"cursor={checkpoint.batch_cursor}" in key
+        assert checkpoint.graph_fingerprint in key
+        assert checkpoint.stream_fingerprint in key
+
+
+class TestReplayConsumedBatches:
+    def test_matches_structural_apply(self, graph, stream):
+        replayed, live = replay_consumed_batches(graph, stream, 2)
+        current, expect_live = graph, None
+        for batch in stream.batches[:2]:
+            delta = apply_batch(current, batch, live=expect_live)
+            current, expect_live = delta.graph, delta.live
+        assert replayed.num_edges == current.num_edges
+        assert (replayed.src == current.src).all()
+        assert (replayed.dst == current.dst).all()
+
+    def test_cursor_zero_is_the_base_graph(self, graph, stream):
+        replayed, live = replay_consumed_batches(graph, stream, 0)
+        assert replayed is graph
+        assert live is None
+
+    def test_cursor_beyond_stream_rejected(self, graph, stream):
+        with pytest.raises(StreamCheckpointError, match="outside"):
+            replay_consumed_batches(graph, stream, stream.num_batches + 1)
+
+
+class TestCheckpointCustody:
+    def test_latest_is_most_recent(self, checkpoint):
+        custody = CheckpointCustody()
+        earlier = dataclasses.replace(
+            checkpoint,
+            batch_cursor=1,
+            epoch_records=checkpoint.epoch_records[:2],
+        )
+        custody.record("j", earlier, durable_at_s=1.0)
+        custody.record("j", checkpoint, durable_at_s=2.0)
+        assert custody.latest("j") is checkpoint
+        assert custody.latest("other") is None
+
+    def test_seal_drops_snapshots_past_the_cutoff(self, checkpoint):
+        custody = CheckpointCustody()
+        earlier = dataclasses.replace(
+            checkpoint,
+            batch_cursor=1,
+            epoch_records=checkpoint.epoch_records[:2],
+        )
+        custody.record("j", earlier, durable_at_s=1.0)
+        custody.record("j", checkpoint, durable_at_s=2.0)
+        survivor = custody.seal("j", cutoff_s=1.5)
+        assert survivor is earlier
+        assert custody.latest("j") is earlier
+
+    def test_sealed_survivor_stays_durable_for_later_crashes(
+        self, checkpoint
+    ):
+        # The survivor is re-timed as already durable: a second crash at
+        # an even earlier cutoff must not drop it.
+        custody = CheckpointCustody()
+        custody.record("j", checkpoint, durable_at_s=2.0)
+        assert custody.seal("j", cutoff_s=3.0) is checkpoint
+        assert custody.seal("j", cutoff_s=0.0) is checkpoint
+
+    def test_seal_with_nothing_durable_clears_custody(self, checkpoint):
+        custody = CheckpointCustody()
+        custody.record("j", checkpoint, durable_at_s=2.0)
+        assert custody.seal("j", cutoff_s=1.0) is None
+        assert custody.latest("j") is None
+
+    def test_clear_drops_the_job(self, checkpoint):
+        custody = CheckpointCustody()
+        custody.record("j", checkpoint, durable_at_s=1.0)
+        custody.clear("j")
+        assert custody.latest("j") is None
+
+    def test_store_round_trip_is_byte_identical(self, tmp_path, checkpoint):
+        from repro.store import SummaryStore
+
+        path = str(tmp_path / "custody.db")
+        SummaryStore.create(path).close()
+        store = SummaryStore.open(path)
+        try:
+            custody = CheckpointCustody(store=store)
+            custody.record("j", checkpoint, durable_at_s=1.0)
+            fetched = custody.fetch(checkpoint.checkpoint_key("j"))
+            assert fetched is not None
+            assert fetched.canonical_json() == checkpoint.canonical_json()
+            assert custody.fetch("stream_checkpoint:v1:job=missing") is None
+        finally:
+            store.close()
+
+
+class TestResilientRun:
+    def test_slowdown_schedules_rejected(self):
+        schedule = FaultSchedule(
+            slowdowns=(
+                SlowdownFault(superstep=0, machine=0, factor=2.0),
+            )
+        )
+        with pytest.raises(StreamError, match="crash faults only"):
+            ResilientStreamingSystem(golden_cluster(), faults=schedule)
+
+    def test_fault_free_run_bills_only_snapshots(self, graph, stream):
+        outcome = _run(graph, stream)
+        assert outcome.recovery.crashes == 0
+        assert outcome.recovery.replayed_epochs == 0
+        # interval=1: one snapshot per epoch (initial + one per batch).
+        assert outcome.recovery.checkpoints_taken == stream.num_batches + 1
+        assert outcome.recovery.checkpoint_seconds > 0.0
+        assert outcome.recovery.overhead_seconds == pytest.approx(
+            outcome.recovery.checkpoint_seconds
+        )
+        assert outcome.result.trace_json() == _plain_trace(graph, stream)
+
+    def test_crash_bills_time_never_bytes(self, graph, stream):
+        schedule = FaultSchedule(
+            crashes=(CrashFault(superstep=2, machine=0),)
+        )
+        outcome = _run(
+            graph,
+            stream,
+            faults=schedule,
+            checkpoint=CheckpointPolicy(interval=2),
+            retry=RetryPolicy(),
+            seed=5,
+        )
+        recovery = outcome.recovery
+        assert recovery.crashes == 1
+        # interval=2 snapshots after epochs 1 and 3; the crash at epoch 2
+        # replays only the destroyed epoch itself.
+        assert recovery.replayed_epochs == 1
+        assert recovery.lost_seconds > 0.0
+        assert recovery.replay_seconds == 0.0
+        assert recovery.restart_seconds == pytest.approx(
+            CheckpointPolicy().restart_seconds
+        )
+        assert recovery.backoff_seconds > 0.0
+        assert outcome.result.trace_json() == _plain_trace(graph, stream)
+
+    def test_recovery_bill_is_deterministic(self, graph, stream):
+        def bill():
+            schedule = FaultSchedule(
+                crashes=(CrashFault(superstep=1, machine=1),)
+            )
+            return _run(
+                graph, stream, faults=schedule, seed=11
+            ).recovery.to_jsonable()
+
+        assert bill() == bill()
+
+    def test_disabled_snapshots_replay_from_scratch(self, graph, stream):
+        schedule = FaultSchedule(
+            crashes=(CrashFault(superstep=2, machine=0),)
+        )
+        outcome = _run(
+            graph,
+            stream,
+            faults=schedule,
+            checkpoint=CheckpointPolicy(interval=0),
+        )
+        # No durable snapshot exists: epochs 0 and 1 replay plus the
+        # destroyed epoch 2.
+        assert outcome.recovery.checkpoints_taken == 0
+        assert outcome.recovery.replayed_epochs == 3
+        assert outcome.recovery.replay_seconds > 0.0
+        assert outcome.result.trace_json() == _plain_trace(graph, stream)
+
+    def test_exhausted_retry_budget_raises(self, graph, stream):
+        schedule = FaultSchedule(
+            crashes=(CrashFault(superstep=1, machine=0, repeats=3),)
+        )
+        with pytest.raises(RecoveryError, match="retry budget"):
+            _run(
+                graph,
+                stream,
+                faults=schedule,
+                retry=RetryPolicy(max_retries=2),
+            )
+
+    def test_resume_continues_byte_identically(self, graph, stream):
+        custody = CheckpointCustody()
+        _run(
+            graph,
+            stream,
+            custody=custody,
+            job_id="r",
+            checkpoint=CheckpointPolicy(interval=2),
+        )
+        snapshot = custody.seal("r", cutoff_s=float("inf"))
+        assert snapshot is not None
+        assert snapshot.batch_cursor == 3
+        outcome = _run(graph, stream, resume_from=snapshot)
+        assert outcome.recovery.resumed_from_batch == 3
+        assert outcome.result.trace_json() == _plain_trace(graph, stream)
+
+    def test_resume_rejects_identity_mismatch(self, graph, stream, checkpoint):
+        wrong = dataclasses.replace(checkpoint, app="sssp")
+        with pytest.raises(StreamCheckpointError, match="app mismatch"):
+            _run(graph, stream, resume_from=wrong)
+
+    def test_resume_rejects_monitor_state_without_monitor(
+        self, graph, stream, checkpoint
+    ):
+        with_monitor = dataclasses.replace(checkpoint, monitor={})
+        with pytest.raises(StreamCheckpointError, match="monitor"):
+            _run(graph, stream, resume_from=with_monitor)

@@ -100,14 +100,58 @@ class TestProcessMutations:
         with open(t1, encoding="utf-8") as fa, open(t2, encoding="utf-8") as fb:
             assert fa.read() == fb.read()
 
-    def test_mutations_excludes_fault_schedule(
+    def test_crash_schedule_recovers_byte_identically(
+        self, tmp_path, graph_file, stream_file, capsys
+    ):
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({
+            "seed": 0,
+            "crashes": [{"superstep": 2, "machine": 0, "repeats": 1}],
+            "slowdowns": [],
+            "network_faults": [],
+        }))
+        plain = str(tmp_path / "plain.json")
+        recovered = str(tmp_path / "recovered.json")
+        assert main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file, "--mutations", stream_file,
+                     "--stream-out", plain]) == 0
+        capsys.readouterr()
+        code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file, "--mutations", stream_file,
+                     "--fault-schedule", str(faults),
+                     "--checkpoint-every", "1",
+                     "--stream-out", recovered])
+        assert code == 0
+        assert "resilience       : 1 crash(es)" in capsys.readouterr().out
+        with open(plain, encoding="utf-8") as fa, \
+                open(recovered, encoding="utf-8") as fb:
+            assert fa.read() == fb.read()
+
+    def test_slowdown_schedule_with_mutations_exits_2(
+        self, tmp_path, graph_file, stream_file, capsys
+    ):
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({
+            "seed": 0,
+            "crashes": [],
+            "slowdowns": [{"superstep": 0, "machine": 0, "factor": 2.0,
+                           "duration": 1}],
+            "network_faults": [],
+        }))
+        code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
+                     "--graph-file", graph_file, "--mutations", stream_file,
+                     "--fault-schedule", str(faults)])
+        assert code == 2
+        assert "crash faults only" in capsys.readouterr().err
+
+    def test_missing_fault_schedule_exits_2(
         self, graph_file, stream_file, capsys
     ):
         code = main(["process", "--cluster", CLUSTER, "--app", "pagerank",
                      "--graph-file", graph_file, "--mutations", stream_file,
                      "--fault-schedule", "whatever.json"])
         assert code == 2
-        assert "fault-free" in capsys.readouterr().err
+        assert "cannot read fault schedule" in capsys.readouterr().err
 
     def test_wrong_base_graph_exits_2(self, tmp_path, stream_file, capsys):
         other = str(tmp_path / "other.npz")

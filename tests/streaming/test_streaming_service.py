@@ -58,9 +58,10 @@ def streaming_job(job_id="s0", seed=3, **kwargs):
 
 
 class TestFormatVersionGate:
-    def test_version_3_is_current_and_supported(self):
-        assert WORKLOAD_FORMAT_VERSION == 3
+    def test_version_4_is_current_and_supported(self):
+        assert WORKLOAD_FORMAT_VERSION == 4
         assert 3 in SUPPORTED_FORMAT_VERSIONS
+        assert 4 in SUPPORTED_FORMAT_VERSIONS
 
     def test_mutations_require_version_3(self):
         payload = json.loads(Workload(jobs=(streaming_job(),)).to_json())
@@ -161,7 +162,67 @@ class TestStreamingJobs:
         result = JobService(pair).run_workload(Workload(jobs=(job,)))
         record = result.records[0]
         assert record.status == STATUS_REJECTED
-        assert "invalid mutation stream" in record.reason
+        assert record.reason.startswith("jobs[0]: invalid mutation stream")
+
+    def test_admission_reject_locates_the_job_index(self, pair):
+        # The offending job is not first in the workload: the located
+        # prefix must name its position, not just repeat the error.
+        bad = MutationStream(
+            batches=(MutationBatch((AddEdge(0, 10**6),)),)
+        )
+        jobs = (
+            JobRequest(
+                job_id="ok", app="pagerank", graph=GraphSpec(vertices=50)
+            ),
+            JobRequest(
+                job_id="d1",
+                app="pagerank",
+                graph=GraphSpec(dataset="wiki", scale=0.05, mutations=bad),
+                submit_s=0.1,
+            ),
+        )
+        result = JobService(pair).run_workload(Workload(jobs=jobs))
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["d1"].status == STATUS_REJECTED
+        assert by_id["d1"].reason.startswith(
+            "jobs[1]: invalid mutation stream"
+        )
+
+    def test_federation_admission_reject_locates_the_job_index(self):
+        # Same contract through the federated admission path: the shard
+        # that rejects must still name the workload position.
+        from repro.cluster.perfmodel import PerformanceModel
+        from repro.federation import FederationService
+
+        bad = MutationStream(
+            batches=(MutationBatch((AddEdge(0, 10**6),)),)
+        )
+        jobs = (
+            JobRequest(
+                job_id="ok", app="pagerank", graph=GraphSpec(vertices=50)
+            ),
+            JobRequest(
+                job_id="d1",
+                app="pagerank",
+                graph=GraphSpec(dataset="wiki", scale=0.05, mutations=bad),
+                submit_s=0.1,
+            ),
+        )
+        clusters = [
+            Cluster(
+                [get_machine("m4.2xlarge"), get_machine("c4.2xlarge")],
+                perf=PerformanceModel(model_scale=0.01),
+            )
+            for _ in range(2)
+        ]
+        result = FederationService(clusters).run_workload(
+            Workload(jobs=jobs)
+        )
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["d1"].status == STATUS_REJECTED
+        assert by_id["d1"].reason.startswith(
+            "jobs[1]: invalid mutation stream"
+        )
 
     def test_mixed_workload_prices_both_kinds(self, pair):
         plain = JobRequest(

@@ -200,9 +200,9 @@ class TestWorkloadFormatV2:
             ),
         )
         text = workload.to_json()
-        # Current version (v3 added graph mutations); shard_faults only
-        # needs >= 2 and older files still load.
-        assert json.loads(text)["format_version"] == 3
+        # Current version (v4 added mutation/fault composition);
+        # shard_faults only needs >= 2 and older files still load.
+        assert json.loads(text)["format_version"] == 4
         again = Workload.from_json(text)
         assert again == workload
         assert again.shard_faults is not None
@@ -239,7 +239,7 @@ class TestWorkloadFormatV2:
             Workload.from_json(text)
 
     def test_unsupported_version_named(self):
-        with pytest.raises(WorkloadFormatError, match=r"\[1, 2, 3\]"):
+        with pytest.raises(WorkloadFormatError, match=r"\[1, 2, 3, 4\]"):
             Workload.from_json('{"format_version": 9, "jobs": []}')
 
     def test_malformed_shard_faults_located(self):

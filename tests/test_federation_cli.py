@@ -70,7 +70,7 @@ class TestWorkloadEmbedding:
         captured = capsys.readouterr().out
         assert "shard fault(s) embedded" in captured
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert payload["format_version"] == 3
+        assert payload["format_version"] == 4
         assert "shard_faults" in payload
         workload = Workload.load(path)
         assert workload.shard_faults is not None
@@ -212,7 +212,7 @@ class TestFederatedServeErrors:
             ]
         )
         assert code == 2
-        assert "[1, 2, 3]" in capsys.readouterr().err
+        assert "[1, 2, 3, 4]" in capsys.readouterr().err
 
     def test_schedule_for_more_shards_than_served(self, tmp_path, capsys):
         workload = _make_workload(tmp_path)
